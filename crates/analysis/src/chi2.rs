@@ -1,0 +1,281 @@
+//! χ² test of independence on 2-way marginal tables (§6.1).
+//!
+//! For a 2-way marginal `m` over attributes `(A, B)` computed from `N`
+//! users, the statistic is `Σ_j (O_j − E_j)² / E_j` where `O_j = N·m[j]`
+//! and `E_j` is the expected count under independence (the product of the
+//! row and column sums). With binary attributes the table has 1 degree of
+//! freedom; the test rejects independence at confidence `1 − α` when the
+//! statistic exceeds [`crate::special::chi2_critical`]`(α, 1)`.
+
+use crate::special::{chi2_critical, chi2_sf};
+
+/// Result of one independence test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(rows − 1)(cols − 1)`.
+    pub df: u32,
+    /// The tail probability `Pr[X > statistic]`.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Does the test reject independence at significance level `alpha`?
+    #[must_use]
+    pub fn rejects_independence(&self, alpha: f64) -> bool {
+        self.statistic > chi2_critical(alpha, self.df)
+    }
+}
+
+/// χ² independence test on a 2×2 marginal table (locally indexed: bit 0 =
+/// first attribute, bit 1 = second), given the population size `n`.
+///
+/// Noisy marginals may contain small negative entries; they are clamped
+/// and the table renormalized before testing (standard postprocessing).
+#[must_use]
+pub fn chi2_independence_2x2(marginal: &[f64], n: f64) -> Chi2Result {
+    assert_eq!(marginal.len(), 4, "expected a 2×2 marginal table");
+    assert!(n > 0.0);
+    // Clamp and renormalize.
+    let mut p: Vec<f64> = marginal.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = p.iter().sum();
+    if total > 0.0 {
+        p.iter_mut().for_each(|v| *v /= total);
+    } else {
+        p = vec![0.25; 4];
+    }
+    // Margins: a = P(bit0 = 1), b = P(bit1 = 1).
+    let a1 = p[0b01] + p[0b11];
+    let b1 = p[0b10] + p[0b11];
+    let expected = [
+        (1.0 - a1) * (1.0 - b1),
+        a1 * (1.0 - b1),
+        (1.0 - a1) * b1,
+        a1 * b1,
+    ];
+    let mut stat = 0.0;
+    for j in 0..4 {
+        let e = expected[j] * n;
+        if e > 0.0 {
+            let o = p[j] * n;
+            stat += (o - e) * (o - e) / e;
+        }
+    }
+    Chi2Result {
+        statistic: stat,
+        df: 1,
+        p_value: chi2_sf(stat, 1),
+    }
+}
+
+/// General r×c independence test on a two-attribute categorical marginal,
+/// indexed `cell = i + r·j` (first attribute fastest).
+#[must_use]
+pub fn chi2_independence(table: &[f64], r: usize, c: usize, n: f64) -> Chi2Result {
+    assert_eq!(table.len(), r * c);
+    assert!(r >= 2 && c >= 2 && n > 0.0);
+    let mut p: Vec<f64> = table.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = p.iter().sum();
+    if total > 0.0 {
+        p.iter_mut().for_each(|v| *v /= total);
+    } else {
+        p = vec![1.0 / (r * c) as f64; r * c];
+    }
+    let mut row = vec![0.0; r];
+    let mut col = vec![0.0; c];
+    for j in 0..c {
+        for i in 0..r {
+            row[i] += p[i + r * j];
+            col[j] += p[i + r * j];
+        }
+    }
+    let mut stat = 0.0;
+    for j in 0..c {
+        for i in 0..r {
+            let e = row[i] * col[j] * n;
+            if e > 0.0 {
+                let o = p[i + r * j] * n;
+                stat += (o - e) * (o - e) / e;
+            }
+        }
+    }
+    let df = ((r - 1) * (c - 1)) as u32;
+    Chi2Result {
+        statistic: stat,
+        df,
+        p_value: chi2_sf(stat, df),
+    }
+}
+
+/// Noise-aware χ² independence test for privately-estimated 2×2 tables
+/// (the robustness fix the paper's footnote 3 leaves as future work,
+/// after Gaboardi et al. 2016).
+///
+/// A marginal estimated under LDP carries additive per-cell noise with
+/// (mechanism-dependent) variance `cell_variance`; under the null, the
+/// statistic concentrates around `df + N · Σ_j cell_variance / E_j`
+/// instead of `df`, so comparing it to the noise-unaware critical value
+/// rejects almost always for large `N`. This test inflates the critical
+/// value by the expected noise contribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseAwareChi2 {
+    /// The raw χ² statistic on the (clamped) private table.
+    pub statistic: f64,
+    /// The *expected* noise contribution under the null (the rejection
+    /// threshold uses its upper quantile, see
+    /// [`NoiseAwareChi2::rejects_independence`]).
+    pub noise_inflation: f64,
+    /// Degrees of freedom.
+    pub df: u32,
+}
+
+impl NoiseAwareChi2 {
+    /// Reject independence at level `alpha`, accounting for the privacy
+    /// noise. The noise contribution behaves like a scaled χ² with
+    /// (cells − 1 − df) = 3 − df … ≈ 3 effective degrees of freedom for a
+    /// 2×2 table, so the threshold uses its (1 − α) quantile rather than
+    /// its mean: `critical(α, df) + inflation · critical(α, 3)/3`.
+    #[must_use]
+    pub fn rejects_independence(&self, alpha: f64) -> bool {
+        let noise_quantile = self.noise_inflation * chi2_critical(alpha, 3) / 3.0;
+        self.statistic > chi2_critical(alpha, self.df) + noise_quantile
+    }
+}
+
+/// Run the noise-aware test on a private 2×2 marginal. `cell_variance`
+/// is the variance of each reconstructed cell (e.g.
+/// `ldp_mechanisms::theory::inpht_cell_variance`).
+#[must_use]
+pub fn chi2_noise_aware_2x2(marginal: &[f64], n: f64, cell_variance: f64) -> NoiseAwareChi2 {
+    assert!(cell_variance >= 0.0);
+    let base = chi2_independence_2x2(marginal, n);
+    // Expected inflation: E[N Σ (noise_j)² / E_j] = N · σ² · Σ 1/E_j,
+    // with the expected-cell probabilities taken from the (clamped)
+    // observed margins.
+    let mut p: Vec<f64> = marginal.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = p.iter().sum();
+    if total > 0.0 {
+        p.iter_mut().for_each(|v| *v /= total);
+    } else {
+        p = vec![0.25; 4];
+    }
+    let a1 = p[0b01] + p[0b11];
+    let b1 = p[0b10] + p[0b11];
+    let expected = [
+        (1.0 - a1) * (1.0 - b1),
+        a1 * (1.0 - b1),
+        (1.0 - a1) * b1,
+        a1 * b1,
+    ];
+    let inv_e: f64 = expected.iter().map(|e| 1.0 / e.max(1e-6)).sum();
+    NoiseAwareChi2 {
+        statistic: base.statistic,
+        noise_inflation: n * cell_variance * inv_e,
+        df: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_table_accepts() {
+        // Product distribution: P(A)=0.3, P(B)=0.6.
+        let m = [0.7 * 0.4, 0.3 * 0.4, 0.7 * 0.6, 0.3 * 0.6];
+        let r = chi2_independence_2x2(&m, 256_000.0);
+        assert!(r.statistic < 1e-6);
+        assert!(!r.rejects_independence(0.05));
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn correlated_table_rejects() {
+        // Figure 2's M_pick/M_drop joint — strongly dependent.
+        let m = [0.20, 0.15, 0.10, 0.55];
+        let r = chi2_independence_2x2(&m, 256_000.0);
+        assert!(r.rejects_independence(0.05), "stat {}", r.statistic);
+        assert!(r.statistic > 1_000.0);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn statistic_scales_linearly_with_n() {
+        let m = [0.24, 0.26, 0.26, 0.24];
+        let r1 = chi2_independence_2x2(&m, 10_000.0);
+        let r2 = chi2_independence_2x2(&m, 40_000.0);
+        assert!((r2.statistic / r1.statistic - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_negative_noise() {
+        let m = [0.5, -0.02, 0.3, 0.22];
+        let r = chi2_independence_2x2(&m, 1000.0);
+        assert!(r.statistic.is_finite());
+    }
+
+    #[test]
+    fn general_matches_2x2() {
+        let m = [0.20, 0.15, 0.10, 0.55];
+        let a = chi2_independence_2x2(&m, 5000.0);
+        let b = chi2_independence(&m, 2, 2, 5000.0);
+        assert!((a.statistic - b.statistic).abs() < 1e-9);
+        assert_eq!(a.df, b.df);
+    }
+
+    #[test]
+    fn noise_aware_accepts_independent_noisy_tables() {
+        // An independent table plus synthetic noise of known variance:
+        // the naive test rejects, the noise-aware one does not.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 262_144.0;
+        let sigma = 5e-3;
+        let clean = [0.7 * 0.4, 0.3 * 0.4, 0.7 * 0.6, 0.3 * 0.6];
+        let mut naive_rejects = 0;
+        let mut aware_rejects = 0;
+        for _ in 0..40 {
+            let noisy: Vec<f64> = clean
+                .iter()
+                .map(|v| {
+                    // Approximate Gaussian noise via CLT of 12 uniforms.
+                    let g: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                    v + sigma * g
+                })
+                .collect();
+            naive_rejects +=
+                u32::from(chi2_independence_2x2(&noisy, n).rejects_independence(0.05));
+            aware_rejects += u32::from(
+                chi2_noise_aware_2x2(&noisy, n, sigma * sigma).rejects_independence(0.05),
+            );
+        }
+        assert!(naive_rejects > 30, "naive should almost always reject");
+        assert!(aware_rejects < 8, "noise-aware should rarely reject");
+    }
+
+    #[test]
+    fn noise_aware_still_rejects_strong_dependence() {
+        let m = [0.20, 0.15, 0.10, 0.55];
+        let r = chi2_noise_aware_2x2(&m, 262_144.0, 1e-4);
+        assert!(r.rejects_independence(0.05));
+    }
+
+    #[test]
+    fn zero_variance_reduces_to_plain_test() {
+        let m = [0.24, 0.26, 0.26, 0.24];
+        let aware = chi2_noise_aware_2x2(&m, 10_000.0, 0.0);
+        let plain = chi2_independence_2x2(&m, 10_000.0);
+        assert_eq!(aware.noise_inflation, 0.0);
+        assert!((aware.statistic - plain.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_3x2_runs() {
+        // A mildly dependent 3×2 table.
+        let t = [0.2, 0.1, 0.1, 0.1, 0.1, 0.4];
+        let r = chi2_independence(&t, 3, 2, 10_000.0);
+        assert_eq!(r.df, 2);
+        assert!(r.rejects_independence(0.05));
+    }
+}

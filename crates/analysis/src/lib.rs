@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Statistical analysis on reconstructed marginals (§6 of the paper).
+//!
+//! * [`chi2`] — the χ² test of independence run on (private) 2-way
+//!   marginal tables, with exact critical values computed from the
+//!   regularized incomplete gamma function (Figure 7);
+//! * [`mi`] — mutual information between attribute pairs from 2-way
+//!   marginals;
+//! * [`chowliu`] — the Chow–Liu maximum-spanning-tree approximation of
+//!   the joint distribution (Figure 8);
+//! * [`treemodel`] — conditional-probability-table models over a fitted
+//!   tree: exact joint queries, sampling, likelihood (completing §6.2's
+//!   "multiplying conditional probabilities" step);
+//! * [`special`] — ln-gamma and incomplete-gamma special functions
+//!   (implemented here; no external math dependency).
+
+pub mod chi2;
+pub mod chowliu;
+pub mod mi;
+pub mod special;
+pub mod treemodel;

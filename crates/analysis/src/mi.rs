@@ -1,0 +1,123 @@
+//! Mutual information between attribute pairs, from 2-way marginal tables
+//! (§6.2):
+//!
+//! `MI(A, B) = Σ_{i,j} P[A=i, B=j] · log( P[A=i,B=j] / (P[A=i] P[B=j]) )`.
+
+/// Mutual information (in nats) of a 2×2 marginal table (locally indexed:
+/// bit 0 = attribute A, bit 1 = attribute B).
+///
+/// Noisy tables are clamped to `[0,1]` and renormalized first; zero cells
+/// contribute zero (the standard `0 log 0 = 0` convention).
+#[must_use]
+pub fn mutual_information_2x2(marginal: &[f64]) -> f64 {
+    assert_eq!(marginal.len(), 4);
+    let mut p: Vec<f64> = marginal.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = p.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    p.iter_mut().for_each(|v| *v /= total);
+    let a1 = p[0b01] + p[0b11];
+    let b1 = p[0b10] + p[0b11];
+    let pa = [1.0 - a1, a1];
+    let pb = [1.0 - b1, b1];
+    let mut mi = 0.0;
+    for j in 0..2 {
+        for i in 0..2 {
+            let joint = p[i | (j << 1)];
+            let prod = pa[i] * pb[j];
+            if joint > 0.0 && prod > 0.0 {
+                mi += joint * (joint / prod).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Mutual information (in nats) of a general r×c joint table indexed
+/// `cell = i + r·j`.
+#[must_use]
+pub fn mutual_information(table: &[f64], r: usize, c: usize) -> f64 {
+    assert_eq!(table.len(), r * c);
+    let mut p: Vec<f64> = table.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = p.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    p.iter_mut().for_each(|v| *v /= total);
+    let mut row = vec![0.0; r];
+    let mut col = vec![0.0; c];
+    for j in 0..c {
+        for i in 0..r {
+            row[i] += p[i + r * j];
+            col[j] += p[i + r * j];
+        }
+    }
+    let mut mi = 0.0;
+    for j in 0..c {
+        for i in 0..r {
+            let joint = p[i + r * j];
+            let prod = row[i] * col[j];
+            if joint > 0.0 && prod > 0.0 {
+                mi += joint * (joint / prod).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_attributes_have_zero_mi() {
+        let m = [0.7 * 0.4, 0.3 * 0.4, 0.7 * 0.6, 0.3 * 0.6];
+        assert!(mutual_information_2x2(&m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_attributes_have_entropy_mi() {
+        // A = B with P(A=1) = 0.5 → MI = H(A) = ln 2.
+        let m = [0.5, 0.0, 0.0, 0.5];
+        assert!((mutual_information_2x2(&m) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let m = [0.20, 0.15, 0.10, 0.55];
+        // Swap A and B: transpose the table.
+        let t = [m[0], m[2], m[1], m[3]];
+        assert!((mutual_information_2x2(&m) - mutual_information_2x2(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_nonnegative_on_noisy_tables() {
+        let m = [0.5, -0.03, 0.33, 0.2];
+        assert!(mutual_information_2x2(&m) >= 0.0);
+    }
+
+    #[test]
+    fn general_matches_2x2() {
+        let m = [0.20, 0.15, 0.10, 0.55];
+        let g = mutual_information(&m, 2, 2);
+        assert!((g - mutual_information_2x2(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_min_entropy() {
+        // MI(A,B) ≤ min(H(A), H(B)).
+        let m = [0.1, 0.3, 0.25, 0.35];
+        let mi = mutual_information_2x2(&m);
+        let a1: f64 = m[1] + m[3];
+        let b1: f64 = m[2] + m[3];
+        let h = |p: f64| {
+            if p <= 0.0 || p >= 1.0 {
+                0.0
+            } else {
+                -p * p.ln() - (1.0 - p) * (1.0 - p).ln()
+            }
+        };
+        assert!(mi <= h(a1).min(h(b1)) + 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion timing ablations for design choices called out in
+//! `DESIGN.md` §5: InpHT encode cost vs coefficient-set size, the
+//! binomial sampler's two regimes, and EM decode cost vs convergence
+//! threshold. (Accuracy ablations are the `ablations` *binary*.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_bench::DataSource;
+use ldp_core::{InpEm, InpHt};
+use ldp_sampling::binomial;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn inpht_encode_vs_coefficient_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inpht_encode_coeff_set");
+    let mut rng = SmallRng::seed_from_u64(3);
+    for (d, k) in [(8u32, 2u32), (16, 2), (16, 3), (24, 3)] {
+        let mech = InpHt::new(d, k, 1.1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_k{k}_T{}", mech.coefficient_count())),
+            &mech,
+            |b, m| b.iter(|| black_box(m.encode(black_box(5), &mut rng))),
+        );
+    }
+    group.finish();
+}
+
+fn binomial_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sampler");
+    let mut rng = SmallRng::seed_from_u64(4);
+    // Inversion regime (np < 10) vs BTPE rejection regime.
+    group.bench_function("binv_n1e3_p0.005", |b| {
+        b.iter(|| black_box(binomial(&mut rng, 1_000, 0.005)))
+    });
+    group.bench_function("btpe_n1e5_p0.4", |b| {
+        b.iter(|| black_box(binomial(&mut rng, 100_000, 0.4)))
+    });
+    group.bench_function("btpe_n1e8_p0.37", |b| {
+        b.iter(|| black_box(binomial(&mut rng, 100_000_000, 0.37)))
+    });
+    group.finish();
+}
+
+fn em_decode_vs_omega(c: &mut Criterion) {
+    let data = DataSource::Taxi.generate(8, 1 << 13, 9);
+    let beta = ldp_bits::Mask::from_attrs(&[1, 2]);
+    let mut group = c.benchmark_group("em_decode_omega");
+    group.sample_size(10);
+    for omega in [1e-4f64, 1e-5, 1e-6] {
+        let mech = InpEm::with_convergence(8, 1.1, omega, 200_000);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut agg = mech.aggregator();
+        for &row in data.rows() {
+            agg.absorb(mech.encode(row, &mut rng));
+        }
+        let est = agg.finish();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("omega_{omega:e}")),
+            &est,
+            |b, e| b.iter(|| black_box(e.decode(black_box(beta)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    inpht_encode_vs_coefficient_set,
+    binomial_regimes,
+    em_decode_vs_omega
+);
+criterion_main!(benches);

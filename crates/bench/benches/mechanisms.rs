@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks: per-user encode cost and end-to-end
+//! pipeline cost for each mechanism — the operational counterpart to
+//! Table 2's communication column (client time is proportional to
+//! message size; §4's "time cost is linear in the size of the
+//! communication").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldp_bench::DataSource;
+use ldp_core::{InpEm, InpHt, InpPs, InpRr, MargHt, MargPs, MargRr, MechanismKind};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn encode_per_user(c: &mut Criterion) {
+    let (d, k, eps) = (8u32, 2u32, 1.1f64);
+    let mut group = c.benchmark_group("encode_per_user_d8_k2");
+    group.throughput(Throughput::Elements(1));
+
+    let row = 0b1010_0110u64;
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    let inp_rr = InpRr::new(d, eps);
+    group.bench_function("InpRR", |b| {
+        b.iter(|| black_box(inp_rr.encode(black_box(row), &mut rng)))
+    });
+    let inp_ps = InpPs::new(d, eps);
+    group.bench_function("InpPS", |b| {
+        b.iter(|| black_box(inp_ps.encode(black_box(row), &mut rng)))
+    });
+    let inp_ht = InpHt::new(d, k, eps);
+    group.bench_function("InpHT", |b| {
+        b.iter(|| black_box(inp_ht.encode(black_box(row), &mut rng)))
+    });
+    let marg_rr = MargRr::new(d, k, eps);
+    group.bench_function("MargRR", |b| {
+        b.iter(|| black_box(marg_rr.encode(black_box(row), &mut rng)))
+    });
+    let marg_ps = MargPs::new(d, k, eps);
+    group.bench_function("MargPS", |b| {
+        b.iter(|| black_box(marg_ps.encode(black_box(row), &mut rng)))
+    });
+    let marg_ht = MargHt::new(d, k, eps);
+    group.bench_function("MargHT", |b| {
+        b.iter(|| black_box(marg_ht.encode(black_box(row), &mut rng)))
+    });
+    let inp_em = InpEm::new(d, eps);
+    group.bench_function("InpEM", |b| {
+        b.iter(|| black_box(inp_em.encode(black_box(row), &mut rng)))
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let (d, k, eps) = (8u32, 2u32, 1.1f64);
+    let n = 1 << 14;
+    let data = DataSource::Taxi.generate(d, n, 42);
+    let mut group = c.benchmark_group("pipeline_d8_k2_n16k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in MechanismKind::SIX {
+        let mech = kind.build(d, k, eps);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &mech, |b, m| {
+            b.iter(|| black_box(m.run(data.rows(), 7)))
+        });
+    }
+    group.finish();
+}
+
+fn em_decode(c: &mut Criterion) {
+    let (d, eps) = (8u32, 1.1f64);
+    let data = DataSource::Taxi.generate(d, 1 << 13, 5);
+    let mech = MechanismKind::InpEm.build(d, 2, eps);
+    let est = mech.run(data.rows(), 11);
+    let ldp_core::Estimate::Em(em) = est else {
+        unreachable!()
+    };
+    let beta = ldp_bits::Mask::from_attrs(&[1, 2]);
+    c.bench_function("inp_em_decode_one_2way", |b| {
+        b.iter(|| black_box(em.decode(black_box(beta))))
+    });
+}
+
+criterion_group!(benches, encode_per_user, end_to_end, em_decode);
+criterion_main!(benches);

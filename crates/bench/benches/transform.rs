@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the transform substrate: FWHT scaling,
+//! marginal reconstruction from coefficients (Lemma 3.7), and the direct
+//! marginal operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldp_bits::Mask;
+use ldp_transform::{fwht, marginal_from_coefficients, marginalize, scaled_coefficients};
+use std::hint::black_box;
+
+fn fwht_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    for d in [8u32, 12, 16, 20] {
+        let n = 1usize << d;
+        group.throughput(Throughput::Elements(n as u64));
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{d}")), &data, |b, x| {
+            b.iter(|| {
+                let mut y = x.clone();
+                fwht(&mut y);
+                black_box(y)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn reconstruction(c: &mut Criterion) {
+    let d = 16u32;
+    let n = 1usize << d;
+    let raw: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let total: f64 = raw.iter().sum();
+    let dist: Vec<f64> = raw.iter().map(|v| v / total).collect();
+    let coeffs = scaled_coefficients(&dist);
+    let beta = Mask::new(0b0000_0101_0001_0000);
+
+    c.bench_function("marginal_from_coefficients_d16_k3", |b| {
+        b.iter(|| {
+            black_box(marginal_from_coefficients(black_box(beta), |a| {
+                coeffs[a.bits() as usize]
+            }))
+        })
+    });
+    c.bench_function("marginalize_direct_d16_k3", |b| {
+        b.iter(|| black_box(marginalize(black_box(&dist), d, beta)))
+    });
+}
+
+criterion_group!(benches, fwht_scaling, reconstruction);
+criterion_main!(benches);

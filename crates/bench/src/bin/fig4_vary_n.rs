@@ -1,0 +1,64 @@
+//! Figure 4: mean total variation distance of 1/2/3-way marginals over
+//! the movielens data as the population size N varies, for all six
+//! mechanisms; d ∈ {4, 8, 16}, k ∈ {1, 2, 3}, ε = ln 3.
+//!
+//! `--quick` restricts to d ∈ {4, 8}, k ∈ {1, 2} and three N values.
+
+use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
+use ldp_core::MechanismKind;
+
+fn main() {
+    let (reps, quick) = parse_common_args(3);
+    let eps = 3f64.ln();
+    let (ds, ks, ns): (Vec<u32>, Vec<u32>, Vec<usize>) = if quick {
+        (vec![4, 8], vec![1, 2], vec![1 << 14, 1 << 16, 1 << 18])
+    } else {
+        (
+            vec![4, 8, 16],
+            vec![1, 2, 3],
+            vec![1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19],
+        )
+    };
+
+    for &d in &ds {
+        for &k in &ks {
+            let mut rows = Vec::new();
+            for &n in &ns {
+                // One population + truth per (grid point, rep), shared by
+                // all six mechanisms — matching the paper's protocol.
+                let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); MechanismKind::SIX.len()];
+                for r in 0..reps {
+                    let seed = (u64::from(d) << 48)
+                        ^ (u64::from(k) << 40)
+                        ^ ((n as u64) << 8)
+                        ^ r as u64;
+                    let data = DataSource::MovieLens.generate(d, n, seed);
+                    let truth = Truth::new(&data);
+                    for (mi, kind) in MechanismKind::SIX.iter().enumerate() {
+                        let est = kind.build(d, k, eps).run(data.rows(), seed ^ 0xF1F1);
+                        per_mech[mi].push(truth.mean_kway_tvd(&est, k));
+                    }
+                }
+                let mut row = vec![format!("2^{}", n.trailing_zeros())];
+                row.extend(
+                    per_mech
+                        .iter()
+                        .map(|tvds| fmt_summary(summarize(tvds))),
+                );
+                rows.push(row);
+            }
+            let mut header = vec!["N"];
+            header.extend(MechanismKind::SIX.iter().map(|m| m.name()));
+            print_table(
+                &format!("Figure 4 panel: movielens, d={d}, k={k}, eps=ln3 (mean TVD ± std)"),
+                &header,
+                &rows,
+            );
+        }
+    }
+    println!(
+        "\npaper shape: error ∝ 1/√N for all methods; InpPS decays with 2^d and stops \
+         improving; InpHT lowest or near-lowest everywhere; MargPS ≥ MargRR accuracy; \
+         methods indistinguishable at k=1"
+    );
+}

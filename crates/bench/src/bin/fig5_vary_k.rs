@@ -1,0 +1,41 @@
+//! Figure 5: effect of the marginal order k on accuracy; taxi data,
+//! N = 2^18, e^ε = 3, d = 8, k = 1…7, all six mechanisms.
+
+use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
+use ldp_core::MechanismKind;
+
+fn main() {
+    let (reps, quick) = parse_common_args(3);
+    let (d, eps) = (8u32, 3f64.ln());
+    let n = if quick { 1 << 15 } else { 1 << 18 };
+    let ks: Vec<u32> = if quick { vec![1, 2, 3] } else { (1..=7).collect() };
+
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); MechanismKind::SIX.len()];
+        for r in 0..reps {
+            let seed = (u64::from(k) << 32) ^ r as u64 ^ 0x5A5A;
+            let data = DataSource::Taxi.generate(d, n, seed);
+            let truth = Truth::new(&data);
+            for (mi, kind) in MechanismKind::SIX.iter().enumerate() {
+                let est = kind.build(d, k, eps).run(data.rows(), seed ^ 0x0F0F);
+                per_mech[mi].push(truth.mean_kway_tvd(&est, k));
+            }
+        }
+        let mut row = vec![format!("{k}")];
+        row.extend(per_mech.iter().map(|t| fmt_summary(summarize(t))));
+        rows.push(row);
+    }
+    let mut header = vec!["k"];
+    header.extend(MechanismKind::SIX.iter().map(|m| m.name()));
+    print_table(
+        &format!("Figure 5: taxi, d=8, N=2^{}, e^eps=3 (mean k-way TVD ± std)", n.trailing_zeros()),
+        &header,
+        &rows,
+    );
+    println!(
+        "\npaper shape: InpHT is the method of choice for k ≤ d/2; for larger k InpRR \
+         becomes competitive in accuracy (at 2^d communication); marginal methods degrade \
+         faster; absolute error grows with k"
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 6: k = 2 comparison against the EM heuristic at larger
+//! dimensionalities (achieved, as in the paper, by duplicating taxi
+//! columns); InpHT and MargPS vs InpEM across ε.
+
+use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
+use ldp_core::{Estimate, MechanismKind};
+
+fn main() {
+    let (reps, quick) = parse_common_args(3);
+    let k = 2u32;
+    let n = if quick { 1 << 14 } else { 1 << 17 };
+    let ds: Vec<u32> = if quick { vec![8, 16] } else { vec![8, 16, 24, 32] };
+    let epss = [0.4, 0.8, 1.2];
+    let methods = [MechanismKind::InpHt, MechanismKind::MargPs, MechanismKind::InpEm];
+
+    for &d in &ds {
+        let mut rows = Vec::new();
+        for &eps in &epss {
+            let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+            for r in 0..reps {
+                let seed = (u64::from(d) << 32) ^ ((eps * 1000.0) as u64) ^ r as u64;
+                let data = DataSource::Taxi.generate(d, n, seed);
+                // d ≤ 26 limit for the cached full distribution: score the
+                // 2-way marginals directly against the dataset for big d.
+                let truth: Option<Truth> = (d <= 20).then(|| Truth::new(&data));
+                for (mi, kind) in methods.iter().enumerate() {
+                    let est: Estimate = kind.build(d, k, eps).run(data.rows(), seed ^ 0xEE);
+                    let tvd = match &truth {
+                        Some(t) => t.mean_kway_tvd(&est, k),
+                        None => ldp_core::mean_kway_tvd(&est, &data, k),
+                    };
+                    per_mech[mi].push(tvd);
+                }
+            }
+            let mut row = vec![format!("{eps:.1}")];
+            row.extend(per_mech.iter().map(|t| fmt_summary(summarize(t))));
+            rows.push(row);
+        }
+        let mut header = vec!["eps"];
+        header.extend(methods.iter().map(|m| m.name()));
+        print_table(
+            &format!(
+                "Figure 6 panel: taxi (duplicated columns), d={d}, k=2, N=2^{} (mean TVD ± std)",
+                n.trailing_zeros()
+            ),
+            &header,
+            &rows,
+        );
+    }
+    println!(
+        "\npaper shape: InpEM improves with eps but stays several times worse than the \
+         unbiased estimators InpHT and MargPS at every d"
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 7: χ² association testing on the taxi data; N = 256K,
+//! ε = 1.1. Private χ² values (InpHT and MargPS marginals) vs the
+//! non-private statistic and the 0.95-confidence critical value.
+
+use ldp_analysis::chi2::{chi2_independence_2x2, chi2_noise_aware_2x2};
+use ldp_analysis::special::chi2_critical;
+use ldp_mechanisms::theory::inpht_cell_variance;
+use ldp_bench::{parse_common_args, print_table, DataSource, Truth};
+use ldp_bits::Mask;
+use ldp_core::{MarginalEstimator, MechanismKind};
+use ldp_data::taxi::{attr, ATTRIBUTE_NAMES};
+
+fn main() {
+    let (_reps, quick) = parse_common_args(1);
+    let n = if quick { 1 << 15 } else { 1 << 18 };
+    let (d, k, eps) = (8u32, 2u32, 1.1f64);
+    // Three pairs the test must declare dependent, three independent (§6.1).
+    let pairs = [
+        (attr::NIGHT_PICK, attr::NIGHT_DROP, true),
+        (attr::TOLL, attr::FAR, true),
+        (attr::CC, attr::TIP, true),
+        (attr::M_DROP, attr::CC, false),
+        (attr::FAR, attr::NIGHT_PICK, false),
+        (attr::TOLL, attr::NIGHT_PICK, false),
+    ];
+
+    let data = DataSource::Taxi.generate(d, n, 77);
+    let truth = Truth::new(&data);
+    let ht = MechanismKind::InpHt.build(d, k, eps).run(data.rows(), 101);
+    let ps = MechanismKind::MargPs.build(d, k, eps).run(data.rows(), 102);
+
+    let critical = chi2_critical(0.05, 1);
+    let cell_var = inpht_cell_variance(d, k, eps, n);
+    let nf = n as f64;
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|&(a, b, expect_dep)| {
+            let beta = Mask::from_attrs(&[a, b]);
+            let stat_true = chi2_independence_2x2(&truth.marginal(beta), nf).statistic;
+            let stat_ht = chi2_independence_2x2(&ht.marginal(beta), nf).statistic;
+            let stat_ps = chi2_independence_2x2(&ps.marginal(beta), nf).statistic;
+            let aware = chi2_noise_aware_2x2(&ht.marginal(beta), nf, cell_var);
+            vec![
+                format!(
+                    "({}, {})",
+                    ATTRIBUTE_NAMES[a as usize], ATTRIBUTE_NAMES[b as usize]
+                ),
+                if expect_dep { "dependent" } else { "independent" }.to_string(),
+                format!("{stat_true:.1}"),
+                format!("{stat_ht:.1}"),
+                format!("{stat_ps:.1}"),
+                format!(
+                    "{}/{}",
+                    if stat_ht > critical { "dep" } else { "ind" },
+                    if stat_ps > critical { "dep" } else { "ind" }
+                ),
+                if aware.rejects_independence(0.05) { "dep" } else { "ind" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 7: chi-square values, taxi, N=2^{}, eps=1.1 (critical value {critical:.3})",
+            n.trailing_zeros()
+        ),
+        &[
+            "pair",
+            "ground truth",
+            "NonPrivate",
+            "InpHT",
+            "MargPS",
+            "verdict HT/PS",
+            "HT noise-aware",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper shape: InpHT chi2 values track the non-private ones on both sides of the \
+         critical value; MargPS sometimes commits type I errors (fails to reject) on the \
+         weakly-dependent pairs"
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 8: total mutual information of Chow–Liu dependency trees on
+//! the movielens data (d = 10, N = 200K) as ε varies. Trees are learnt
+//! from private 2-way marginals (InpHT / MargPS) and scored by the
+//! **true** MI of the selected edges, against the non-private tree.
+
+use ldp_analysis::chowliu::{maximum_spanning_tree, reweigh, total_weight};
+use ldp_analysis::mi::mutual_information_2x2;
+use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
+use ldp_bits::Mask;
+use ldp_core::{MarginalEstimator, MechanismKind};
+
+fn main() {
+    let (reps, quick) = parse_common_args(3);
+    let (d, k) = (10u32, 2u32);
+    let n = if quick { 1 << 14 } else { 200_000 };
+    let epss: Vec<f64> = if quick {
+        vec![0.4, 1.0]
+    } else {
+        vec![0.4, 0.6, 0.8, 1.0, 1.2, 1.4]
+    };
+
+    let mut rows = Vec::new();
+    for &eps in &epss {
+        let mut opt = Vec::new();
+        let mut ht_scores = Vec::new();
+        let mut ps_scores = Vec::new();
+        for r in 0..reps {
+            let seed = ((eps * 1000.0) as u64) << 20 | r as u64;
+            let data = DataSource::MovieLens.generate(d, n, seed);
+            let truth = Truth::new(&data);
+            let true_mi = |a: u32, b: u32| {
+                mutual_information_2x2(&truth.marginal(Mask::from_attrs(&[a, b])))
+            };
+            // Non-private optimum.
+            let base_tree = maximum_spanning_tree(d, true_mi);
+            opt.push(total_weight(&base_tree));
+            // Private trees, scored by true MI of the chosen edges.
+            for (kind, out) in [
+                (MechanismKind::InpHt, &mut ht_scores),
+                (MechanismKind::MargPs, &mut ps_scores),
+            ] {
+                let est = kind.build(d, k, eps).run(data.rows(), seed ^ 0xC0DE);
+                let private_mi = |a: u32, b: u32| {
+                    mutual_information_2x2(&est.marginal(Mask::from_attrs(&[a, b])))
+                };
+                let tree = maximum_spanning_tree(d, private_mi);
+                out.push(total_weight(&reweigh(&tree, true_mi)));
+            }
+        }
+        rows.push(vec![
+            format!("{eps:.1}"),
+            fmt_summary(summarize(&opt)),
+            fmt_summary(summarize(&ht_scores)),
+            fmt_summary(summarize(&ps_scores)),
+        ]);
+    }
+    print_table(
+        &format!("Figure 8: Chow-Liu total (true) MI, movielens d=10, N={n}"),
+        &["eps", "NonPrivate", "InpHT", "MargPS"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: InpHT trees achieve nearly the non-private total MI at every eps; \
+         MargPS is less accurate at low eps and catches up as eps increases"
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 9 (Appendix B.1): mean TVD for 1/2/3-way marginals over
+//! N = 2^18 movielens users as the privacy budget ε varies.
+
+use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
+use ldp_core::MechanismKind;
+
+fn main() {
+    let (reps, quick) = parse_common_args(3);
+    let n = if quick { 1 << 14 } else { 1 << 18 };
+    let (ds, ks): (Vec<u32>, Vec<u32>) = if quick {
+        (vec![8], vec![2])
+    } else {
+        (vec![8, 16], vec![1, 2, 3])
+    };
+    let epss = [0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
+
+    for &d in &ds {
+        for &k in &ks {
+            let mut rows = Vec::new();
+            for &eps in &epss {
+                let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); MechanismKind::SIX.len()];
+                for r in 0..reps {
+                    let seed = (u64::from(d) << 40)
+                        ^ (u64::from(k) << 32)
+                        ^ ((eps * 1000.0) as u64)
+                        ^ (r as u64) << 16;
+                    let data = DataSource::MovieLens.generate(d, n, seed);
+                    let truth = Truth::new(&data);
+                    for (mi, kind) in MechanismKind::SIX.iter().enumerate() {
+                        let est = kind.build(d, k, eps).run(data.rows(), seed ^ 0xBEE);
+                        per_mech[mi].push(truth.mean_kway_tvd(&est, k));
+                    }
+                }
+                let mut row = vec![format!("{eps:.1}")];
+                row.extend(per_mech.iter().map(|t| fmt_summary(summarize(t))));
+                rows.push(row);
+            }
+            let mut header = vec!["eps"];
+            header.extend(MechanismKind::SIX.iter().map(|m| m.name()));
+            print_table(
+                &format!(
+                    "Figure 9 panel: movielens, d={d}, k={k}, N=2^{} (mean TVD ± std)",
+                    n.trailing_zeros()
+                ),
+                &header,
+                &rows,
+            );
+        }
+    }
+    println!(
+        "\npaper shape: error declines as eps grows; InpPS/InpRR/MargRR unfavorable for \
+         k ≥ 2; MargPS overtakes MargHT as eps increases; InpHT best across all \
+         configurations"
+    );
+}

@@ -1,0 +1,111 @@
+//! Binomial coefficients, used to count marginals (`C(d,k)` k-way marginals
+//! of `d` attributes) and Hadamard coefficients (`T = Σ_{ℓ≤k} C(d,ℓ)`).
+
+/// `C(n, k)` computed with overflow-safe interleaved multiply/divide.
+///
+/// Panics on overflow of `u64` (far beyond any parameter this library uses;
+/// `C(64, 32)` ≈ 1.8e18 still fits).
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    u64::try_from(result).expect("binomial coefficient overflows u64")
+}
+
+/// Pascal's triangle up to `n` rows: `table[i][j] = C(i, j)` (saturating).
+#[must_use]
+pub fn binomial_table(n: usize) -> Vec<Vec<u64>> {
+    let mut t = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let mut row = vec![0u64; i + 1];
+        row[0] = 1;
+        row[i] = 1;
+        for j in 1..i {
+            let prev: &Vec<u64> = &t[i - 1];
+            row[j] = prev[j - 1].saturating_add(prev[j]);
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// `log2 C(n,k)` via the log-gamma-free product form, for quick size
+/// estimates (e.g. communication accounting) without overflow.
+#[must_use]
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(8, 2), 28);
+        assert_eq!(binomial(16, 3), 560);
+        assert_eq!(binomial(4, 7), 0);
+    }
+
+    #[test]
+    fn paper_coefficient_counts() {
+        // §3.2: for d = 4, k = 2 there are C(4,0)+C(4,1)+C(4,2) = 11
+        // Hadamard coefficients of weight ≤ 2.
+        let total: u64 = (0..=2).map(|l| binomial(4, l)).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn table_matches_direct() {
+        let t = binomial_table(20);
+        for n in 0..=20u64 {
+            for k in 0..=n {
+                assert_eq!(t[n as usize][k as usize], binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_and_pascal() {
+        for n in 1..30u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn log2_agrees() {
+        for n in 1..40u64 {
+            for k in 0..=n {
+                let exact = (binomial(n, k) as f64).log2();
+                assert!((log2_binomial(n, k) - exact).abs() < 1e-9, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn large_still_fits() {
+        assert_eq!(binomial(64, 1), 64);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+}

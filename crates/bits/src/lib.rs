@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! Bit-mask algebra over the Boolean hypercube `{0,1}^d`.
+//!
+//! The marginal-release algorithms of Cormode, Kulkarni and Srivastava
+//! (SIGMOD 2018) identify a *marginal* by a mask `β ∈ {0,1}^d` whose set
+//! bits name the attributes of interest, and a *cell* of that marginal by a
+//! sub-mask `γ ⪯ β`. This crate provides the small, heavily-exercised
+//! toolkit every other crate builds on:
+//!
+//! * [`Mask`] — a `u64`-backed attribute subset with the `⪯` partial order;
+//! * [`submasks`] — iteration over all `α ⪯ β` (the 2^|β| cells or
+//!   Hadamard coefficients of a marginal);
+//! * [`masks_of_weight`] / [`masks_of_weight_at_most`] — Gosper-style
+//!   enumeration of all k-way marginals of d attributes;
+//! * [`compress`] / [`expand`] — software PEXT/PDEP used to translate
+//!   between global cell indices `η ∈ {0,1}^d` and local marginal cells
+//!   `γ ∈ {0,1}^k`;
+//! * [`parity`] / [`pm_one`] — the inner product `⟨i, j⟩ mod 2` that drives
+//!   the Hadamard transform;
+//! * [`binomial`] and [`WeightRank`] — combinatorial (un)ranking of
+//!   low-weight masks, used to index the `T = Σ_{ℓ≤k} C(d,ℓ)` Hadamard
+//!   coefficients that suffice for all k-way marginals (Lemma 3.7).
+
+mod binom;
+mod mask;
+mod pext;
+mod rank;
+mod subsets;
+
+pub use binom::{binomial, binomial_table, log2_binomial};
+pub use mask::Mask;
+pub use pext::{compress, expand};
+pub use rank::{rank_weight_k, unrank_weight_k, WeightRank};
+pub use subsets::{masks_of_weight, masks_of_weight_at_most, submasks, SubmaskIter, WeightIter};
+
+/// Parity of the AND of two masks: `popcount(a & b) mod 2`.
+///
+/// This is the inner product `⟨a, b⟩` over GF(2) used throughout the
+/// Hadamard transform (Definition 3.5 of the paper).
+#[inline(always)]
+#[must_use]
+pub fn parity(a: u64, b: u64) -> u64 {
+    (a & b).count_ones() as u64 & 1
+}
+
+/// `(−1)^{⟨a,b⟩}` as an `f64` — the sign of a Hadamard matrix entry.
+#[inline(always)]
+#[must_use]
+pub fn pm_one(a: u64, b: u64) -> f64 {
+    if parity(a, b) == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// `(−1)^{⟨a,b⟩}` as an `i8` (`+1` or `−1`).
+#[inline(always)]
+#[must_use]
+pub fn pm_one_i8(a: u64, b: u64) -> i8 {
+    if parity(a, b) == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_basics() {
+        assert_eq!(parity(0, 0), 0);
+        assert_eq!(parity(0b1011, 0b0001), 1);
+        assert_eq!(parity(0b1011, 0b1010), 0);
+        assert_eq!(parity(u64::MAX, u64::MAX), 0); // 64 ones -> even
+        assert_eq!(parity(u64::MAX, 1), 1);
+    }
+
+    #[test]
+    fn pm_one_matches_parity() {
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                let expect = if parity(a, b) == 0 { 1.0 } else { -1.0 };
+                assert_eq!(pm_one(a, b), expect);
+                assert_eq!(pm_one_i8(a, b) as f64, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Mask`] type: a subset of up to 64 binary attributes.
+
+use core::fmt;
+
+/// A subset of attributes of a `d`-dimensional binary domain, packed into a
+/// `u64` (bit `i` set ⇔ attribute `i` is in the subset).
+///
+/// `Mask` is used both for marginal identifiers `β` (which attributes a
+/// marginal covers) and for cell/coefficient indices `γ, α, η` (bit
+/// patterns over those attributes). The paper's `⪯` relation
+/// (`α ⪯ β ⇔ α ∧ β = α`) is [`Mask::is_subset_of`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Mask(pub u64);
+
+impl Mask {
+    /// The empty subset.
+    pub const EMPTY: Mask = Mask(0);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn new(bits: u64) -> Self {
+        Mask(bits)
+    }
+
+    /// The full domain mask `{0, …, d−1}`; panics if `d > 64`.
+    #[inline]
+    #[must_use]
+    pub const fn full(d: u32) -> Self {
+        assert!(d <= 64, "at most 64 attributes supported");
+        if d == 64 {
+            Mask(u64::MAX)
+        } else {
+            Mask((1u64 << d) - 1)
+        }
+    }
+
+    /// A mask with a single attribute set.
+    #[inline]
+    #[must_use]
+    pub const fn single(attr: u32) -> Self {
+        assert!(attr < 64);
+        Mask(1u64 << attr)
+    }
+
+    /// Build a mask from attribute indices.
+    #[must_use]
+    pub fn from_attrs(attrs: &[u32]) -> Self {
+        let mut bits = 0u64;
+        for &a in attrs {
+            assert!(a < 64, "attribute index out of range");
+            bits |= 1u64 << a;
+        }
+        Mask(bits)
+    }
+
+    /// Raw bits.
+    #[inline]
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of attributes in the subset (the `k` of a k-way marginal).
+    #[inline]
+    #[must_use]
+    pub const fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` iff the subset is empty.
+    #[inline]
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The `⪯` relation: every attribute of `self` is also in `other`.
+    #[inline]
+    #[must_use]
+    pub const fn is_subset_of(self, other: Mask) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// `true` iff `attr` is in the subset.
+    #[inline]
+    #[must_use]
+    pub const fn contains(self, attr: u32) -> bool {
+        attr < 64 && (self.0 >> attr) & 1 == 1
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: Mask) -> Mask {
+        Mask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub const fn intersect(self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub const fn minus(self, other: Mask) -> Mask {
+        Mask(self.0 & !other.0)
+    }
+
+    /// Complement within a `d`-attribute domain.
+    #[inline]
+    #[must_use]
+    pub fn complement(self, d: u32) -> Mask {
+        Mask(!self.0 & Mask::full(d).0)
+    }
+
+    /// Iterate the attribute indices in ascending order.
+    #[inline]
+    pub fn attrs(self) -> AttrIter {
+        AttrIter(self.0)
+    }
+
+    /// The number of cells in a marginal over this subset: `2^weight`.
+    ///
+    /// Panics if the weight exceeds 63 (such tables cannot be materialized).
+    #[inline]
+    #[must_use]
+    pub fn table_len(self) -> usize {
+        let w = self.weight();
+        assert!(w < 64, "marginal table too large to materialize");
+        1usize << w
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask({:#b})", self.0)
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in self.attrs() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<u64> for Mask {
+    fn from(bits: u64) -> Self {
+        Mask(bits)
+    }
+}
+
+/// Iterator over the set attribute indices of a [`Mask`], ascending.
+#[derive(Clone, Debug)]
+pub struct AttrIter(u64);
+
+impl Iterator for AttrIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let a = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(a)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Mask::full(4).bits(), 0b1111);
+        assert_eq!(Mask::full(0).bits(), 0);
+        assert_eq!(Mask::full(64).bits(), u64::MAX);
+        assert_eq!(Mask::single(3).bits(), 0b1000);
+        assert_eq!(Mask::from_attrs(&[0, 2]).bits(), 0b101);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let beta = Mask::new(0b0101);
+        assert!(Mask::new(0b0001).is_subset_of(beta));
+        assert!(Mask::new(0b0101).is_subset_of(beta));
+        assert!(Mask::EMPTY.is_subset_of(beta));
+        assert!(!Mask::new(0b0010).is_subset_of(beta));
+        assert!(!Mask::new(0b0111).is_subset_of(beta));
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Mask::new(0b0110);
+        let b = Mask::new(0b0011);
+        assert_eq!(a.union(b).bits(), 0b0111);
+        assert_eq!(a.intersect(b).bits(), 0b0010);
+        assert_eq!(a.minus(b).bits(), 0b0100);
+        assert_eq!(a.complement(4).bits(), 0b1001);
+    }
+
+    #[test]
+    fn attrs_iter() {
+        let m = Mask::new(0b101001);
+        let v: Vec<u32> = m.attrs().collect();
+        assert_eq!(v, vec![0, 3, 5]);
+        assert_eq!(m.attrs().len(), 3);
+        assert_eq!(Mask::EMPTY.attrs().count(), 0);
+    }
+
+    #[test]
+    fn table_len() {
+        assert_eq!(Mask::new(0b0101).table_len(), 4);
+        assert_eq!(Mask::EMPTY.table_len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mask::new(0b101).to_string(), "{0,2}");
+        assert_eq!(Mask::EMPTY.to_string(), "{}");
+    }
+}

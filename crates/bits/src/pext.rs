@@ -1,0 +1,110 @@
+//! Software parallel bit extract/deposit (PEXT/PDEP).
+//!
+//! These translate between *global* cell indices `η ∈ {0,1}^d` and *local*
+//! marginal cell indices `γ ∈ {0,1}^k`:
+//!
+//! * `compress(η, β)` gathers the bits of `η` at the positions set in `β`
+//!   into the low `|β|` bits — the local index of the cell of marginal `β`
+//!   that `η` contributes to (the paper's `η ∧ β = γ` selection written in
+//!   compact form).
+//! * `expand(γ, β)` is the inverse: it scatters the low `|β|` bits of `γ`
+//!   to the positions set in `β`.
+
+/// Gather the bits of `x` selected by `mask` into contiguous low bits.
+///
+/// Equivalent to the x86 `PEXT` instruction. `O(weight(mask))`.
+#[inline]
+#[must_use]
+pub fn compress(x: u64, mask: u64) -> u64 {
+    let mut m = mask;
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if x & bit != 0 {
+            out |= 1u64 << shift;
+        }
+        shift += 1;
+        m ^= bit;
+    }
+    out
+}
+
+/// Scatter the low bits of `x` to the positions selected by `mask`.
+///
+/// Equivalent to the x86 `PDEP` instruction. `O(weight(mask))`.
+#[inline]
+#[must_use]
+pub fn expand(x: u64, mask: u64) -> u64 {
+    let mut m = mask;
+    let mut out = 0u64;
+    let mut src = x;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if src & 1 != 0 {
+            out |= bit;
+        }
+        src >>= 1;
+        m ^= bit;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compress_examples() {
+        // d = 4, beta = 0101: attribute 0 -> local bit 0, attribute 2 -> local bit 1.
+        assert_eq!(compress(0b0000, 0b0101), 0b00);
+        assert_eq!(compress(0b0001, 0b0101), 0b01);
+        assert_eq!(compress(0b0100, 0b0101), 0b10);
+        assert_eq!(compress(0b0101, 0b0101), 0b11);
+        // Non-selected bits are ignored.
+        assert_eq!(compress(0b1111, 0b0101), 0b11);
+        assert_eq!(compress(0b1010, 0b0101), 0b00);
+    }
+
+    #[test]
+    fn expand_examples() {
+        assert_eq!(expand(0b00, 0b0101), 0b0000);
+        assert_eq!(expand(0b01, 0b0101), 0b0001);
+        assert_eq!(expand(0b10, 0b0101), 0b0100);
+        assert_eq!(expand(0b11, 0b0101), 0b0101);
+        // Bits beyond the mask weight are ignored.
+        assert_eq!(expand(0b111, 0b0101), 0b0101);
+    }
+
+    #[test]
+    fn full_and_empty_masks() {
+        assert_eq!(compress(0xDEAD_BEEF, u64::MAX), 0xDEAD_BEEF);
+        assert_eq!(expand(0xDEAD_BEEF, u64::MAX), 0xDEAD_BEEF);
+        assert_eq!(compress(0xDEAD_BEEF, 0), 0);
+        assert_eq!(expand(0xDEAD_BEEF, 0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn expand_then_compress_roundtrip(x in any::<u64>(), mask in any::<u64>()) {
+            // expand only reads the low weight(mask) bits; compress recovers them.
+            let w = mask.count_ones();
+            let low = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            prop_assert_eq!(compress(expand(x, mask), mask), x & low);
+        }
+
+        #[test]
+        fn compress_then_expand_keeps_masked_bits(x in any::<u64>(), mask in any::<u64>()) {
+            prop_assert_eq!(expand(compress(x, mask), mask), x & mask);
+        }
+
+        #[test]
+        fn compress_weight_bound(x in any::<u64>(), mask in any::<u64>()) {
+            let w = mask.count_ones();
+            if w < 64 {
+                prop_assert!(compress(x, mask) < (1u64 << w));
+            }
+        }
+    }
+}

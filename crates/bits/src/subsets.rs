@@ -1,0 +1,161 @@
+//! Enumeration of sub-masks and fixed-weight masks.
+
+use crate::Mask;
+
+/// Iterate all `α ⪯ β` (all sub-masks of `beta`), in increasing numeric
+/// order, including the empty mask and `beta` itself — `2^|β|` items.
+///
+/// This enumerates the cells of a marginal table (Definition 3.2) and the
+/// Hadamard coefficients relevant to a marginal (Lemma 3.7).
+#[inline]
+#[must_use]
+pub fn submasks(beta: Mask) -> SubmaskIter {
+    SubmaskIter {
+        beta: beta.bits(),
+        next: Some(0),
+    }
+}
+
+/// See [`submasks`].
+#[derive(Clone, Debug)]
+pub struct SubmaskIter {
+    beta: u64,
+    next: Option<u64>,
+}
+
+impl Iterator for SubmaskIter {
+    type Item = Mask;
+
+    #[inline]
+    fn next(&mut self) -> Option<Mask> {
+        let cur = self.next?;
+        // Standard sub-mask increment: (cur - beta) & beta enumerates
+        // sub-masks ascending when started from 0.
+        self.next = if cur == self.beta {
+            None
+        } else {
+            Some((cur.wrapping_sub(self.beta)) & self.beta)
+        };
+        Some(Mask(cur))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.next {
+            None => (0, Some(0)),
+            // Remaining count is expensive to compute exactly; give bounds.
+            Some(_) => (1, Some(1usize << self.beta.count_ones().min(63))),
+        }
+    }
+}
+
+/// Iterate all masks over `d` attributes with exactly `k` set bits, in
+/// increasing numeric order (Gosper's hack). `C(d, k)` items.
+///
+/// Enumerates the set of all k-way marginals (Definition 3.3).
+#[must_use]
+pub fn masks_of_weight(d: u32, k: u32) -> WeightIter {
+    assert!(d <= 63, "weight enumeration supports d ≤ 63");
+    let limit = 1u64 << d;
+    let first = if k > d {
+        None
+    } else if k == 0 {
+        Some(0)
+    } else {
+        Some((1u64 << k) - 1)
+    };
+    WeightIter { limit, next: first }
+}
+
+/// See [`masks_of_weight`].
+#[derive(Clone, Debug)]
+pub struct WeightIter {
+    limit: u64,
+    next: Option<u64>,
+}
+
+impl Iterator for WeightIter {
+    type Item = Mask;
+
+    #[inline]
+    fn next(&mut self) -> Option<Mask> {
+        let cur = self.next?;
+        self.next = if cur == 0 {
+            None
+        } else {
+            // Gosper's hack: next larger integer with the same popcount.
+            let c = cur & cur.wrapping_neg();
+            let r = cur + c;
+            let nxt = (((r ^ cur) >> 2) / c) | r;
+            (nxt < self.limit).then_some(nxt)
+        };
+        Some(Mask(cur))
+    }
+}
+
+/// All masks over `d` attributes with weight in `1..=k`, ordered by weight
+/// then numerically — exactly the paper's coefficient set
+/// `T = {α : 1 ≤ |α| ≤ k}` (the weight-0 coefficient is always known).
+#[must_use]
+pub fn masks_of_weight_at_most(d: u32, k: u32) -> Vec<Mask> {
+    let mut out = Vec::new();
+    for w in 1..=k.min(d) {
+        out.extend(masks_of_weight(d, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial;
+
+    #[test]
+    fn submasks_of_example() {
+        let v: Vec<u64> = submasks(Mask(0b0101)).map(Mask::bits).collect();
+        assert_eq!(v, vec![0b0000, 0b0001, 0b0100, 0b0101]);
+    }
+
+    #[test]
+    fn submasks_of_empty() {
+        let v: Vec<Mask> = submasks(Mask::EMPTY).collect();
+        assert_eq!(v, vec![Mask::EMPTY]);
+    }
+
+    #[test]
+    fn submasks_count_and_order() {
+        for beta in [0b1u64, 0b110, 0b1011, 0b11111, 0b1010101] {
+            let v: Vec<u64> = submasks(Mask(beta)).map(Mask::bits).collect();
+            assert_eq!(v.len(), 1 << beta.count_ones());
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(v.iter().all(|&s| s & beta == s), "all are submasks");
+        }
+    }
+
+    #[test]
+    fn weight_enumeration_counts() {
+        for d in 1..=10u32 {
+            for k in 0..=d {
+                let v: Vec<Mask> = masks_of_weight(d, k).collect();
+                assert_eq!(v.len() as u64, binomial(d as u64, k as u64), "d={d} k={k}");
+                assert!(v.iter().all(|m| m.weight() == k));
+                assert!(v.windows(2).all(|w| w[0].bits() < w[1].bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_zero_and_overweight() {
+        assert_eq!(masks_of_weight(5, 0).count(), 1);
+        assert_eq!(masks_of_weight(3, 4).count(), 0);
+    }
+
+    #[test]
+    fn at_most_matches_paper_t() {
+        // §4.2: |T| = Σ_{ℓ=1}^{k} C(d,ℓ). For d=4, k=2: 4 + 6 = 10.
+        let t = masks_of_weight_at_most(4, 2);
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().all(|m| (1..=2).contains(&m.weight())));
+        // d=16, k=3: 16 + 120 + 560 = 696.
+        assert_eq!(masks_of_weight_at_most(16, 3).len(), 696);
+    }
+}

@@ -1,0 +1,331 @@
+//! Direct categorical marginal release (§6.3, first approach).
+//!
+//! For non-binary attributes the paper notes that the sampling-based
+//! mechanisms "generalize easily … since they can be applied to users
+//! represented as sparse binary vectors": sample a k-subset of
+//! categorical attributes, view the user's values on them as the single
+//! 1 in a one-hot table of size `∏ r_i`, and release that cell through
+//! generalized randomized response — the categorical `MargPS`. (The
+//! Hadamard route instead goes through the §6.3 binary encoding, see
+//! `ldp_data::categorical::CategoricalSchema` and the
+//! `categorical_survey` example; the Efron–Stein alternative is in
+//! `ldp_transform::efron_stein`.)
+
+use ldp_bits::{masks_of_weight, Mask};
+use ldp_mechanisms::GeneralizedRandomizedResponse;
+use rand::Rng;
+
+/// One user's report: the sampled attribute subset and the reported cell
+/// of its marginal table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatMargPsReport {
+    /// Index of the sampled attribute subset in `masks_of_weight(d, k)`
+    /// enumeration order.
+    pub subset: u32,
+    /// Reported (perturbed) cell in the subset's product domain.
+    pub cell: u32,
+}
+
+/// Preferential sampling over k-way *categorical* marginals.
+#[derive(Clone, Debug)]
+pub struct CatMargPs {
+    arities: Vec<usize>,
+    k: u32,
+    subsets: Vec<Mask>,
+    /// One GRR instance per subset (cell counts differ across subsets).
+    grrs: Vec<GeneralizedRandomizedResponse>,
+}
+
+impl CatMargPs {
+    /// ε-LDP instance over attributes with the given arities (each ≥ 2),
+    /// targeting marginals of exactly `k` attributes.
+    #[must_use]
+    pub fn new(arities: &[usize], k: u32, eps: f64) -> Self {
+        let d = arities.len() as u32;
+        assert!((1..=63).contains(&d) && k >= 1 && k <= d);
+        assert!(arities.iter().all(|&r| r >= 2), "arities must be ≥ 2");
+        let subsets: Vec<Mask> = masks_of_weight(d, k).collect();
+        let grrs = subsets
+            .iter()
+            .map(|s| {
+                let cells = table_len(arities, *s);
+                GeneralizedRandomizedResponse::for_epsilon(eps, cells as u64)
+            })
+            .collect();
+        CatMargPs {
+            arities: arities.to_vec(),
+            k,
+            subsets,
+            grrs,
+        }
+    }
+
+    /// Number of categorical attributes.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.arities.len() as u32
+    }
+
+    /// Marginal order.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of k-way attribute subsets.
+    #[must_use]
+    pub fn subset_count(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Client: sample a subset, locate the user's cell, perturb via GRR.
+    pub fn encode<R: Rng + ?Sized>(&self, record: &[usize], rng: &mut R) -> CatMargPsReport {
+        assert_eq!(record.len(), self.arities.len());
+        let si = rng.gen_range(0..self.subsets.len());
+        let cell = cell_of(&self.arities, self.subsets[si], record);
+        CatMargPsReport {
+            subset: si as u32,
+            cell: self.grrs[si].perturb(cell as u64, rng) as u32,
+        }
+    }
+
+    /// Fresh aggregator.
+    #[must_use]
+    pub fn aggregator(&self) -> CatMargPsAggregator {
+        let counts = self
+            .subsets
+            .iter()
+            .map(|s| vec![0u64; table_len(&self.arities, *s)])
+            .collect();
+        CatMargPsAggregator {
+            config: self.clone(),
+            counts,
+        }
+    }
+}
+
+/// Aggregator for [`CatMargPs`].
+#[derive(Clone, Debug)]
+pub struct CatMargPsAggregator {
+    config: CatMargPs,
+    counts: Vec<Vec<u64>>,
+}
+
+impl CatMargPsAggregator {
+    /// Absorb one report.
+    pub fn absorb(&mut self, report: CatMargPsReport) {
+        self.counts[report.subset as usize][report.cell as usize] += 1;
+    }
+
+    /// Fold another shard's aggregator into this one.
+    pub fn merge(&mut self, other: CatMargPsAggregator) {
+        for (ta, tb) in self.counts.iter_mut().zip(other.counts) {
+            for (a, b) in ta.iter_mut().zip(tb) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Unbias every subset's histogram.
+    #[must_use]
+    pub fn finish(self) -> CatMarginalSetEstimate {
+        let tables = self
+            .counts
+            .iter()
+            .zip(&self.config.grrs)
+            .map(|(hist, grr)| {
+                let users: u64 = hist.iter().sum();
+                if users == 0 {
+                    vec![1.0 / hist.len() as f64; hist.len()]
+                } else {
+                    let observed: Vec<f64> =
+                        hist.iter().map(|&c| c as f64 / users as f64).collect();
+                    grr.unbias_histogram(&observed)
+                }
+            })
+            .collect();
+        CatMarginalSetEstimate {
+            arities: self.config.arities,
+            subsets: self.config.subsets,
+            tables,
+        }
+    }
+}
+
+/// Estimated k-way categorical marginal tables.
+#[derive(Clone, Debug)]
+pub struct CatMarginalSetEstimate {
+    arities: Vec<usize>,
+    subsets: Vec<Mask>,
+    tables: Vec<Vec<f64>>,
+}
+
+impl CatMarginalSetEstimate {
+    /// The marginal over an attribute subset (must be one of the
+    /// collected k-way subsets), indexed mixed-radix with the
+    /// lowest-numbered attribute fastest.
+    #[must_use]
+    pub fn marginal(&self, attrs: &[u32]) -> &[f64] {
+        let mask = Mask::from_attrs(attrs);
+        let i = self
+            .subsets
+            .binary_search_by_key(&mask.bits(), |m| m.bits())
+            .expect("subset was not collected");
+        &self.tables[i]
+    }
+
+    /// Arity of one attribute.
+    #[must_use]
+    pub fn arity(&self, attr: u32) -> usize {
+        self.arities[attr as usize]
+    }
+}
+
+/// Number of cells of the marginal over `subset`.
+fn table_len(arities: &[usize], subset: Mask) -> usize {
+    subset
+        .attrs()
+        .map(|a| arities[a as usize])
+        .product()
+}
+
+/// Mixed-radix cell index of `record` within the marginal over `subset`
+/// (lowest-numbered attribute fastest).
+fn cell_of(arities: &[usize], subset: Mask, record: &[usize]) -> usize {
+    let mut idx = 0usize;
+    let mut stride = 1usize;
+    for a in subset.attrs() {
+        let v = record[a as usize];
+        debug_assert!(v < arities[a as usize]);
+        idx += v * stride;
+        stride *= arities[a as usize];
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_sampling::AliasTable;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn independent_records(
+        dists: &[Vec<f64>],
+        n: usize,
+        seed: u64,
+    ) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tables: Vec<AliasTable> = dists.iter().map(|w| AliasTable::new(w)).collect();
+        (0..n)
+            .map(|_| tables.iter().map(|t| t.sample(&mut rng)).collect())
+            .collect()
+    }
+
+    fn exact_pair(records: &[Vec<usize>], arities: &[usize], a: usize, b: usize) -> Vec<f64> {
+        let mut t = vec![0.0; arities[a] * arities[b]];
+        for r in records {
+            t[r[a] + arities[a] * r[b]] += 1.0;
+        }
+        t.iter_mut().for_each(|v| *v /= records.len() as f64);
+        t
+    }
+
+    #[test]
+    fn reconstructs_categorical_pairs() {
+        let arities = [3usize, 4, 2, 5];
+        let dists = vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.4, 0.3, 0.2, 0.1],
+            vec![0.7, 0.3],
+            vec![0.3, 0.25, 0.2, 0.15, 0.1],
+        ];
+        let records = independent_records(&dists, 300_000, 0);
+        let mech = CatMargPs::new(&arities, 2, 1.4);
+        assert_eq!(mech.subset_count(), 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agg = mech.aggregator();
+        for r in &records {
+            agg.absorb(mech.encode(r, &mut rng));
+        }
+        let est = agg.finish();
+        for (a, b) in [(0u32, 1u32), (0, 3), (2, 3)] {
+            let got = est.marginal(&[a, b]);
+            let truth = exact_pair(&records, &arities, a as usize, b as usize);
+            let tvd: f64 = got
+                .iter()
+                .zip(&truth)
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+                / 2.0;
+            assert!(tvd < 0.05, "pair ({a},{b}): tvd {tvd}");
+        }
+    }
+
+    #[test]
+    fn tables_sum_to_one() {
+        let arities = [3usize, 3, 3];
+        let dists = vec![vec![1.0, 1.0, 1.0]; 3];
+        let records = independent_records(&dists, 20_000, 2);
+        let mech = CatMargPs::new(&arities, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut agg = mech.aggregator();
+        for r in &records {
+            agg.absorb(mech.encode(r, &mut rng));
+        }
+        let est = agg.finish();
+        for attrs in [[0u32, 1], [0, 2], [1, 2]] {
+            let s: f64 = est.marginal(&attrs).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{attrs:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn per_subset_domain_sizes() {
+        let mech = CatMargPs::new(&[2, 3, 4], 2, 1.0);
+        // Subsets in mask order: {0,1}=6 cells, {0,2}=8, {1,2}=12.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            let rep = mech.encode(&[1, 2, 3], &mut rng);
+            let limit = match rep.subset {
+                0 => 6,
+                1 => 8,
+                2 => 12,
+                _ => panic!("unexpected subset"),
+            };
+            assert!(rep.cell < limit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "subset was not collected")]
+    fn rejects_uncollected_subsets() {
+        let mech = CatMargPs::new(&[2, 2, 2], 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut agg = mech.aggregator();
+        agg.absorb(mech.encode(&[0, 1, 0], &mut rng));
+        let est = agg.finish();
+        let _ = est.marginal(&[0]); // 1-way was not collected
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mech = CatMargPs::new(&[3, 3], 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let reports: Vec<CatMargPsReport> = (0..2000)
+            .map(|i| mech.encode(&[i % 3, (i / 3) % 3], &mut rng))
+            .collect();
+        let mut whole = mech.aggregator();
+        let mut a = mech.aggregator();
+        let mut b = mech.aggregator();
+        for (i, &r) in reports.iter().enumerate() {
+            whole.absorb(r);
+            if i % 2 == 0 {
+                a.absorb(r);
+            } else {
+                b.absorb(r);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.finish().marginal(&[0, 1]), whole.finish().marginal(&[0, 1]));
+    }
+}

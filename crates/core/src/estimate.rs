@@ -1,0 +1,397 @@
+//! Estimate types: the reconstructed views of the population from which
+//! marginals are answered.
+
+use ldp_bits::{masks_of_weight, Mask, WeightRank};
+use ldp_data::BinaryDataset;
+use ldp_transform::{marginal_from_coefficients, marginalize, marginalize_table,
+    total_variation_distance};
+
+/// Anything that can answer marginal queries over a `d`-attribute domain.
+pub trait MarginalEstimator {
+    /// Domain dimensionality.
+    fn d(&self) -> u32;
+
+    /// The largest marginal order answerable (`d` when unrestricted).
+    fn max_k(&self) -> u32;
+
+    /// Estimate the marginal `C_β(t)` as a locally-indexed table of length
+    /// `2^|β|`. Estimates are *raw* unbiased reconstructions: entries may
+    /// fall outside `[0,1]` (use [`clamp_normalize`] for a proper
+    /// distribution). Panics if `|β| > max_k` or `β` is outside the domain.
+    fn marginal(&self, beta: Mask) -> Vec<f64>;
+}
+
+/// Estimate of the entire `2^d` input distribution (from `InpRr` /
+/// `InpPs`); marginals are obtained by aggregation, as in §4.2.
+#[derive(Clone, Debug)]
+pub struct FullDistributionEstimate {
+    d: u32,
+    dist: Vec<f64>,
+}
+
+impl FullDistributionEstimate {
+    /// Wrap a reconstructed full distribution (length `2^d`).
+    #[must_use]
+    pub fn new(d: u32, dist: Vec<f64>) -> Self {
+        assert_eq!(dist.len(), 1usize << d);
+        FullDistributionEstimate { d, dist }
+    }
+
+    /// The reconstructed full distribution.
+    #[must_use]
+    pub fn distribution(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
+impl MarginalEstimator for FullDistributionEstimate {
+    fn d(&self) -> u32 {
+        self.d
+    }
+
+    fn max_k(&self) -> u32 {
+        self.d
+    }
+
+    fn marginal(&self, beta: Mask) -> Vec<f64> {
+        marginalize(&self.dist, self.d, beta)
+    }
+}
+
+/// Estimate of the weight-≤k scaled Hadamard coefficients (from `InpHt`);
+/// marginals are reconstructed via Lemma 3.7.
+#[derive(Clone, Debug)]
+pub struct HadamardEstimate {
+    indexer: WeightRank,
+    /// Estimated scaled coefficients `ĉ_α`, indexed by `indexer`.
+    coeffs: Vec<f64>,
+}
+
+impl HadamardEstimate {
+    /// Wrap estimated coefficients (the weight-0 coefficient is implicit
+    /// and exactly 1).
+    #[must_use]
+    pub fn new(indexer: WeightRank, coeffs: Vec<f64>) -> Self {
+        assert_eq!(coeffs.len(), indexer.len());
+        HadamardEstimate { indexer, coeffs }
+    }
+
+    /// The estimated scaled coefficient `ĉ_α` (`α = 0` returns 1 exactly).
+    #[must_use]
+    pub fn coefficient(&self, alpha: Mask) -> f64 {
+        if alpha.is_empty() {
+            1.0
+        } else {
+            self.coeffs[self.indexer.index(alpha)]
+        }
+    }
+}
+
+impl MarginalEstimator for HadamardEstimate {
+    fn d(&self) -> u32 {
+        self.indexer.d()
+    }
+
+    fn max_k(&self) -> u32 {
+        self.indexer.k()
+    }
+
+    fn marginal(&self, beta: Mask) -> Vec<f64> {
+        assert!(
+            beta.weight() <= self.indexer.k(),
+            "marginal order {} exceeds collected k = {}",
+            beta.weight(),
+            self.indexer.k()
+        );
+        marginal_from_coefficients(beta, |alpha| self.coefficient(alpha))
+    }
+}
+
+/// Estimates of every k-way marginal table directly (from the `Marg*`
+/// mechanisms). Lower-order marginals are answered by aggregating (and
+/// averaging over) the stored k-way supersets.
+#[derive(Clone, Debug)]
+pub struct MarginalSetEstimate {
+    d: u32,
+    k: u32,
+    /// `masks_of_weight(d, k)` order.
+    marginals: Vec<Mask>,
+    /// One locally-indexed `2^k` table per marginal.
+    tables: Vec<Vec<f64>>,
+}
+
+impl MarginalSetEstimate {
+    /// Wrap per-marginal tables, in `masks_of_weight(d, k)` enumeration
+    /// order.
+    #[must_use]
+    pub fn new(d: u32, k: u32, tables: Vec<Vec<f64>>) -> Self {
+        let marginals: Vec<Mask> = masks_of_weight(d, k).collect();
+        assert_eq!(tables.len(), marginals.len());
+        assert!(tables.iter().all(|t| t.len() == 1usize << k));
+        MarginalSetEstimate {
+            d,
+            k,
+            marginals,
+            tables,
+        }
+    }
+
+    /// The stored k-way marginal masks, in enumeration order.
+    #[must_use]
+    pub fn marginals(&self) -> &[Mask] {
+        &self.marginals
+    }
+
+    /// Table for the `i`-th stored marginal.
+    #[must_use]
+    pub fn table(&self, i: usize) -> &[f64] {
+        &self.tables[i]
+    }
+
+    fn position(&self, beta: Mask) -> Option<usize> {
+        self.marginals
+            .binary_search_by_key(&beta.bits(), |m| m.bits())
+            .ok()
+    }
+}
+
+impl MarginalEstimator for MarginalSetEstimate {
+    fn d(&self) -> u32 {
+        self.d
+    }
+
+    fn max_k(&self) -> u32 {
+        self.k
+    }
+
+    fn marginal(&self, beta: Mask) -> Vec<f64> {
+        let w = beta.weight();
+        assert!(
+            w <= self.k,
+            "marginal order {w} exceeds collected k = {}",
+            self.k
+        );
+        if w == self.k {
+            let i = self.position(beta).expect("marginal not in domain");
+            return self.tables[i].clone();
+        }
+        // Average the aggregation of every stored superset — each is an
+        // unbiased estimate of the sub-marginal.
+        let mut acc = vec![0.0; beta.table_len()];
+        let mut count = 0.0;
+        for (i, &m) in self.marginals.iter().enumerate() {
+            if beta.is_subset_of(m) {
+                let sub = marginalize_table(&self.tables[i], m, beta);
+                for (a, s) in acc.iter_mut().zip(&sub) {
+                    *a += s;
+                }
+                count += 1.0;
+            }
+        }
+        assert!(count > 0.0, "no stored superset for {beta}");
+        for a in acc.iter_mut() {
+            *a /= count;
+        }
+        acc
+    }
+}
+
+/// Unified estimate type produced by [`crate::Mechanism::run`].
+#[derive(Clone, Debug)]
+pub enum Estimate {
+    /// Full-distribution reconstruction (`InpRr`, `InpPs`).
+    Full(FullDistributionEstimate),
+    /// Hadamard-coefficient reconstruction (`InpHt`).
+    Hadamard(HadamardEstimate),
+    /// Direct per-marginal tables (`MargRr`, `MargPs`, `MargHt`).
+    MarginalSet(MarginalSetEstimate),
+    /// Budget-split reports with EM decoding (`InpEm`).
+    Em(crate::EmEstimate),
+}
+
+impl MarginalEstimator for Estimate {
+    fn d(&self) -> u32 {
+        match self {
+            Estimate::Full(e) => e.d(),
+            Estimate::Hadamard(e) => e.d(),
+            Estimate::MarginalSet(e) => e.d(),
+            Estimate::Em(e) => e.d(),
+        }
+    }
+
+    fn max_k(&self) -> u32 {
+        match self {
+            Estimate::Full(e) => e.max_k(),
+            Estimate::Hadamard(e) => e.max_k(),
+            Estimate::MarginalSet(e) => e.max_k(),
+            Estimate::Em(e) => e.max_k(),
+        }
+    }
+
+    fn marginal(&self, beta: Mask) -> Vec<f64> {
+        match self {
+            Estimate::Full(e) => e.marginal(beta),
+            Estimate::Hadamard(e) => e.marginal(beta),
+            Estimate::MarginalSet(e) => e.marginal(beta),
+            Estimate::Em(e) => e.marginal(beta),
+        }
+    }
+}
+
+/// Clamp a raw estimated table to `[0, 1]` and renormalize to sum 1
+/// (postprocessing; does not affect privacy). Returns a uniform table if
+/// everything clamps to zero.
+#[must_use]
+pub fn clamp_normalize(table: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = table.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = out.iter().sum();
+    if total <= 0.0 {
+        let u = 1.0 / out.len() as f64;
+        out.iter_mut().for_each(|v| *v = u);
+    } else {
+        out.iter_mut().for_each(|v| *v /= total);
+    }
+    out
+}
+
+/// Mean total variation distance between estimated and exact marginals
+/// over **all** `C(d,k)` k-way marginals — the quantity plotted in
+/// Figures 4, 5, 6 and 9.
+#[must_use]
+pub fn mean_kway_tvd<E: MarginalEstimator + ?Sized>(
+    est: &E,
+    data: &BinaryDataset,
+    k: u32,
+) -> f64 {
+    assert!(k <= est.max_k() && k <= data.d());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for beta in masks_of_weight(data.d(), k) {
+        let truth = data.true_marginal(beta);
+        let guess = est.marginal(beta);
+        total += total_variation_distance(&truth, &guess);
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Exact-coefficients estimator over a known distribution — a test helper
+/// exposed for integration tests and the harness (reconstruction with no
+/// privacy noise must be exact).
+#[must_use]
+pub fn exact_hadamard_estimate(data: &BinaryDataset, k: u32) -> HadamardEstimate {
+    let indexer = WeightRank::new(data.d(), k);
+    let full = data.full_distribution();
+    let coeffs_full = ldp_transform::scaled_coefficients(&full);
+    let coeffs = (0..indexer.len())
+        .map(|i| coeffs_full[indexer.mask(i).bits() as usize])
+        .collect();
+    HadamardEstimate::new(indexer, coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_bits::submasks;
+
+    fn dataset() -> BinaryDataset {
+        BinaryDataset::new(
+            4,
+            vec![0b0000, 0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1111, 0b0001],
+        )
+    }
+
+    #[test]
+    fn full_estimate_answers_any_marginal() {
+        let ds = dataset();
+        let est = FullDistributionEstimate::new(4, ds.full_distribution());
+        for bits in 0u64..16 {
+            let beta = Mask::new(bits);
+            let m = est.marginal(beta);
+            let truth = ds.true_marginal(beta);
+            for (a, b) in m.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_hadamard_estimate_is_exact() {
+        let ds = dataset();
+        let est = exact_hadamard_estimate(&ds, 3);
+        for bits in 0u64..16 {
+            let beta = Mask::new(bits);
+            if beta.weight() > 3 {
+                continue;
+            }
+            let m = est.marginal(beta);
+            let truth = ds.true_marginal(beta);
+            for (a, b) in m.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-10, "beta={beta}");
+            }
+        }
+        assert!((mean_kway_tvd(&est, &ds, 2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn marginal_set_answers_exact_and_sub_marginals() {
+        let ds = dataset();
+        let (d, k) = (4, 2);
+        let tables: Vec<Vec<f64>> = masks_of_weight(d, k)
+            .map(|beta| ds.true_marginal(beta))
+            .collect();
+        let est = MarginalSetEstimate::new(d, k, tables);
+        // k-way exact.
+        for beta in masks_of_weight(d, k) {
+            let m = est.marginal(beta);
+            let truth = ds.true_marginal(beta);
+            for (a, b) in m.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        // 1-way via superset averaging.
+        for beta in masks_of_weight(d, 1) {
+            let m = est.marginal(beta);
+            let truth = ds.true_marginal(beta);
+            for (a, b) in m.iter().zip(&truth) {
+                assert!((a - b).abs() < 1e-12, "beta={beta}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds collected k")]
+    fn marginal_set_rejects_overweight_queries() {
+        let ds = dataset();
+        let tables: Vec<Vec<f64>> = masks_of_weight(4, 2)
+            .map(|beta| ds.true_marginal(beta))
+            .collect();
+        let est = MarginalSetEstimate::new(4, 2, tables);
+        let _ = est.marginal(Mask::new(0b0111));
+    }
+
+    #[test]
+    fn clamp_normalize_behaviour() {
+        let raw = vec![0.6, -0.1, 0.3, 0.4];
+        let p = clamp_normalize(&raw);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        // All-negative input falls back to uniform.
+        let u = clamp_normalize(&[-1.0, -2.0]);
+        assert_eq!(u, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn submask_enumeration_used_by_hadamard_estimate() {
+        // coefficient() must agree with the full WHT on every low-weight α.
+        let ds = dataset();
+        let est = exact_hadamard_estimate(&ds, 2);
+        let coeffs = ldp_transform::scaled_coefficients(&ds.full_distribution());
+        for alpha in submasks(Mask::full(4)) {
+            if alpha.weight() <= 2 {
+                assert!((est.coefficient(alpha) - coeffs[alpha.bits() as usize]).abs() < 1e-12);
+            }
+        }
+    }
+}

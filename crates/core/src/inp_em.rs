@@ -1,0 +1,358 @@
+//! `InpEM` — the Fanti et al. baseline (§4.4): budget-split randomized
+//! response on every attribute, decoded by expectation maximization.
+//!
+//! Client: each of the `d` bits goes through `(ε/d)`-RR independently
+//! (budget splitting; sequential composition gives ε-LDP — verified in
+//! `ldp-mechanisms::budget`). Aggregator: stores the reported rows; for a
+//! target marginal `β` it counts the observed bit-combinations on `β`'s
+//! attributes and runs EM against the known RR channel.
+//!
+//! As the paper observes, the method has no worst-case accuracy guarantee
+//! and a characteristic failure mode: when the per-bit budget is small the
+//! channel is nearly uninformative, the first EM update moves the uniform
+//! prior by less than the convergence threshold Ω, and the procedure
+//! "immediately terminates after a single step and outputs the prior".
+//! [`EmDiagnostics::failed_immediately`] captures exactly this (Table 3).
+
+use crate::{MarginalEstimator, MarginalSetEstimate};
+use ldp_bits::{compress, masks_of_weight, Mask};
+use ldp_mechanisms::{budget::split_epsilon, BinaryRandomizedResponse};
+use rand::Rng;
+
+/// Configuration of the `InpEM` mechanism.
+#[derive(Clone, Debug)]
+pub struct InpEm {
+    d: u32,
+    rr: BinaryRandomizedResponse,
+    omega: f64,
+    max_iters: usize,
+}
+
+impl InpEm {
+    /// ε-LDP instance over `d` attributes with the paper's convergence
+    /// threshold `Ω = 0.00001` (§5.4).
+    #[must_use]
+    pub fn new(d: u32, eps: f64) -> Self {
+        Self::with_convergence(d, eps, 1e-5, 100_000)
+    }
+
+    /// Choose the EM convergence threshold and iteration cap explicitly
+    /// (the paper notes that weakening Ω "even slightly led to much worse
+    /// accuracy").
+    #[must_use]
+    pub fn with_convergence(d: u32, eps: f64, omega: f64, max_iters: usize) -> Self {
+        assert!((1..=63).contains(&d));
+        assert!(omega > 0.0 && max_iters >= 1);
+        InpEm {
+            d,
+            rr: BinaryRandomizedResponse::for_epsilon(split_epsilon(eps, d)),
+            omega,
+            max_iters,
+        }
+    }
+
+    /// Domain dimensionality.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// The per-bit RR primitive (budget ε/d).
+    #[must_use]
+    pub fn per_bit_rr(&self) -> BinaryRandomizedResponse {
+        self.rr
+    }
+
+    /// Client: flip every attribute independently with `(ε/d)`-RR.
+    #[inline]
+    pub fn encode<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> u64 {
+        let mut out = 0u64;
+        for b in 0..self.d {
+            let bit = (row >> b) & 1 == 1;
+            if self.rr.perturb_bit(bit, rng) {
+                out |= 1u64 << b;
+            }
+        }
+        out
+    }
+
+    /// Fresh aggregator.
+    #[must_use]
+    pub fn aggregator(&self) -> InpEmAggregator {
+        InpEmAggregator {
+            config: self.clone(),
+            reported: Vec::new(),
+        }
+    }
+}
+
+/// Aggregator for [`InpEm`]: the collected (perturbed) rows.
+#[derive(Clone, Debug)]
+pub struct InpEmAggregator {
+    config: InpEm,
+    reported: Vec<u64>,
+}
+
+impl InpEmAggregator {
+    /// Absorb one reported row.
+    #[inline]
+    pub fn absorb(&mut self, report: u64) {
+        self.reported.push(report);
+    }
+
+    /// Fold another shard's aggregator into this one.
+    pub fn merge(&mut self, mut other: InpEmAggregator) {
+        self.reported.append(&mut other.reported);
+    }
+
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.reported.len()
+    }
+
+    /// Wrap the reports for on-demand EM decoding.
+    #[must_use]
+    pub fn finish(self) -> EmEstimate {
+        EmEstimate {
+            config: self.config,
+            reported: self.reported,
+        }
+    }
+}
+
+/// Diagnostics of one EM decode (Table 3 and the §5.4 discussion).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmDiagnostics {
+    /// The decoded marginal distribution.
+    pub estimate: Vec<f64>,
+    /// Number of EM iterations performed.
+    pub iterations: usize,
+    /// Whether the Ω criterion was met within the iteration cap.
+    pub converged: bool,
+    /// The paper's failure mode: converged after a single iteration,
+    /// i.e. the output is (numerically) the uniform prior.
+    pub failed_immediately: bool,
+}
+
+/// Estimate produced by `InpEM`: reported rows plus channel knowledge;
+/// every marginal query runs a fresh EM decode.
+#[derive(Clone, Debug)]
+pub struct EmEstimate {
+    config: InpEm,
+    reported: Vec<u64>,
+}
+
+impl EmEstimate {
+    /// Run the EM decoder for one marginal, returning full diagnostics.
+    #[must_use]
+    pub fn decode(&self, beta: Mask) -> EmDiagnostics {
+        assert!(
+            beta.is_subset_of(Mask::full(self.config.d)) && !beta.is_empty(),
+            "invalid marginal mask"
+        );
+        assert!(!self.reported.is_empty(), "no reports absorbed");
+        let k = beta.weight();
+        let cells = 1usize << k;
+
+        // Observed combination counts on β's attributes.
+        let mut obs = vec![0.0f64; cells];
+        for &r in &self.reported {
+            obs[compress(r, beta.bits()) as usize] += 1.0;
+        }
+        let n: f64 = self.reported.len() as f64;
+
+        // Channel by Hamming distance: P(y|x) = p^{k−h} (1−p)^{h},
+        // h = |x ⊕ y|.
+        let p = self.config.rr.keep_probability();
+        let chan: Vec<f64> = (0..=k)
+            .map(|h| p.powi((k - h) as i32) * (1.0 - p).powi(h as i32))
+            .collect();
+
+        // EM from the uniform prior (expectation: posterior of x given y;
+        // maximization: remarginalize over observed y's).
+        let mut pi = vec![1.0 / cells as f64; cells];
+        let mut next = vec![0.0f64; cells];
+        let mut iterations = 0usize;
+        let mut converged = false;
+        while iterations < self.config.max_iters {
+            iterations += 1;
+            next.iter_mut().for_each(|v| *v = 0.0);
+            for (y, &o) in obs.iter().enumerate() {
+                if o == 0.0 {
+                    continue;
+                }
+                let denom: f64 = (0..cells)
+                    .map(|x| pi[x] * chan[(x ^ y).count_ones() as usize])
+                    .sum();
+                if denom <= 0.0 {
+                    continue;
+                }
+                let w = o / denom;
+                for (x, nx) in next.iter_mut().enumerate() {
+                    *nx += w * pi[x] * chan[(x ^ y).count_ones() as usize];
+                }
+            }
+            for v in next.iter_mut() {
+                *v /= n;
+            }
+            let delta = pi
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            std::mem::swap(&mut pi, &mut next);
+            if delta < self.config.omega {
+                converged = true;
+                break;
+            }
+        }
+        EmDiagnostics {
+            estimate: pi,
+            iterations,
+            converged,
+            failed_immediately: converged && iterations == 1,
+        }
+    }
+
+    /// Decode every k-way marginal, returning the estimate plus the count
+    /// of immediate failures (one Table 3 row).
+    #[must_use]
+    pub fn decode_all_kway(&self, k: u32) -> (MarginalSetEstimate, usize) {
+        let mut failed = 0usize;
+        let tables = masks_of_weight(self.config.d, k)
+            .map(|beta| {
+                let diag = self.decode(beta);
+                failed += usize::from(diag.failed_immediately);
+                diag.estimate
+            })
+            .collect();
+        (
+            MarginalSetEstimate::new(self.config.d, k, tables),
+            failed,
+        )
+    }
+}
+
+impl MarginalEstimator for EmEstimate {
+    fn d(&self) -> u32 {
+        self.config.d
+    }
+
+    fn max_k(&self) -> u32 {
+        self.config.d
+    }
+
+    fn marginal(&self, beta: Mask) -> Vec<f64> {
+        self.decode(beta).estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_data::{taxi::TaxiGenerator, BinaryDataset};
+    use ldp_transform::total_variation_distance;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn run(mech: &InpEm, rows: &[u64], seed: u64) -> EmEstimate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agg = mech.aggregator();
+        for &row in rows {
+            agg.absorb(mech.encode(row, &mut rng));
+        }
+        agg.finish()
+    }
+
+    #[test]
+    fn decodes_accurately_with_generous_budget() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = TaxiGenerator::default().generate(100_000, &mut rng);
+        // ε = 8 over d = 8 → per-bit ε = 1: informative channel.
+        let mech = InpEm::new(8, 8.0);
+        let est = run(&mech, ds.rows(), 1);
+        let beta = Mask::from_attrs(&[5, 6]);
+        let diag = est.decode(beta);
+        assert!(diag.converged);
+        assert!(!diag.failed_immediately);
+        let tvd = total_variation_distance(&diag.estimate, &ds.true_marginal(beta));
+        assert!(tvd < 0.05, "tvd {tvd}");
+    }
+
+    #[test]
+    fn estimates_are_distributions() {
+        let rows = vec![0b01u64; 5_000];
+        let mech = InpEm::new(2, 2.0);
+        let est = run(&mech, &rows, 2);
+        let m = est.marginal(Mask::full(2));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn fails_immediately_at_tiny_budget() {
+        // Table 3 regime: d = 16, ε = 0.1 → per-bit ε = 0.00625; the
+        // channel is indistinguishable from uniform and EM stops at the
+        // prior.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = TaxiGenerator::default()
+            .generate(20_000, &mut rng)
+            .duplicate_columns(16);
+        let mech = InpEm::new(16, 0.1);
+        let est = run(&mech, ds.rows(), 4);
+        let diag = est.decode(Mask::from_attrs(&[0, 1]));
+        assert!(diag.failed_immediately, "iterations = {}", diag.iterations);
+        // Output is the uniform prior.
+        for v in &diag.estimate {
+            assert!((v - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn iteration_counts_are_large_at_practical_budgets() {
+        // §5.4: InpEM is "slow to apply, taking several thousand or tens
+        // of thousands of iterations to converge" at practical ε —
+        // compared to a generous budget where the channel is informative
+        // and EM converges fast. (The count is not monotone in ε: at very
+        // small budgets the fixed point is close to the uniform start.)
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = TaxiGenerator::default().generate(30_000, &mut rng);
+        let beta = Mask::from_attrs(&[1, 2]);
+        let mut iters = Vec::new();
+        for eps in [8.0, 2.0] {
+            let mech = InpEm::new(8, eps);
+            let est = run(&mech, ds.rows(), 6);
+            iters.push(est.decode(beta).iterations);
+        }
+        assert!(iters[0] < 1_000, "generous budget: {iters:?}");
+        assert!(iters[1] > 1_000, "practical budget: {iters:?}");
+    }
+
+    #[test]
+    fn decode_all_counts_failures() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = TaxiGenerator::default()
+            .generate(10_000, &mut rng)
+            .duplicate_columns(12);
+        let mech = InpEm::new(12, 0.2);
+        let est = run(&mech, ds.rows(), 8);
+        let (set, failed) = est.decode_all_kway(2);
+        assert_eq!(set.marginals().len(), 66);
+        assert!(failed > 0, "expected some immediate failures at ε = 0.2");
+    }
+
+    #[test]
+    fn noiseless_channel_recovers_empirical_marginal() {
+        // With p extremely close to 1 the EM fixed point is (numerically)
+        // the observed marginal itself.
+        let rows = vec![0b10u64, 0b10, 0b01, 0b10];
+        let ds = BinaryDataset::new(2, rows.clone());
+        let mech = InpEm::with_convergence(2, 60.0, 1e-9, 10_000);
+        let est = run(&mech, &rows, 9);
+        let m = est.marginal(Mask::full(2));
+        let truth = ds.true_marginal(Mask::full(2));
+        for (a, b) in m.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

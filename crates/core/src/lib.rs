@@ -1,0 +1,263 @@
+#![warn(missing_docs)]
+
+//! The six marginal-release mechanisms of *Marginal Release Under Local
+//! Differential Privacy* (Cormode, Kulkarni, Srivastava; SIGMOD 2018),
+//! plus the InpEM baseline of §4.4.
+//!
+//! Every mechanism follows the same protocol shape:
+//!
+//! 1. **Client**: each user holds a private record `j ∈ {0,1}^d` and calls
+//!    `encode(row, rng)` exactly once, producing a small LDP report;
+//! 2. **Server**: an aggregator absorbs reports (`absorb`), possibly
+//!    merging partial aggregators from parallel shards (`merge`);
+//! 3. **Estimation**: `finish()` produces an [`Estimate`] from which *any*
+//!    k-way marginal can be reconstructed on demand — the paper's
+//!    requirement that queries need not be known during collection.
+//!
+//! The two design dimensions of §4 (view of the data × release primitive):
+//!
+//! | | Parallel RR | Preferential sampling | Hadamard sample |
+//! |---|---|---|---|
+//! | **full input** | [`InpRr`] | [`InpPs`] | [`InpHt`] |
+//! | **random marginal** | [`MargRr`] | [`MargPs`] | [`MargHt`] |
+//!
+//! plus [`InpEm`] (budget-split RR per attribute + EM decoding, Fanti et
+//! al.) as the prior-work comparison.
+//!
+//! Use [`MechanismKind::build`] for uniform construction and
+//! [`Mechanism::run`] for the full simulate-a-population pipeline (used by
+//! the bench harness); use the per-mechanism types directly for the
+//! faithful client/server split.
+
+mod categorical;
+pub mod consistency;
+mod estimate;
+mod inp_em;
+mod inp_ht;
+mod inp_ps;
+mod inp_rr;
+mod marg_ht;
+mod marg_ps;
+mod marg_rr;
+mod personalized;
+mod runner;
+
+pub use categorical::{
+    CatMargPs, CatMargPsAggregator, CatMargPsReport, CatMarginalSetEstimate,
+};
+pub use estimate::{
+    clamp_normalize, exact_hadamard_estimate, mean_kway_tvd, Estimate, FullDistributionEstimate,
+    HadamardEstimate, MarginalEstimator, MarginalSetEstimate,
+};
+pub use inp_em::{EmDiagnostics, EmEstimate, InpEm, InpEmAggregator};
+pub use inp_ht::{InpHt, InpHtAggregator, InpHtReport};
+pub use inp_ps::{InpPs, InpPsAggregator};
+pub use inp_rr::{InpRr, InpRrAggregator};
+pub use marg_ht::{MargHt, MargHtAggregator, MargHtReport};
+pub use marg_ps::{MargPs, MargPsAggregator, MargPsReport};
+pub use marg_rr::{MargRr, MargRrAggregator, MargRrReport};
+pub use personalized::{PersonalizedAggregator, PersonalizedInpHt, PersonalizedReport};
+pub use runner::run_population;
+
+use ldp_mechanisms::theory::MethodBound;
+
+/// Identifier for one of the seven implemented mechanisms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// Parallel randomized response on the full `2^d` input vector (§4.2).
+    InpRr,
+    /// Preferential sampling of the input index over `2^d` (§4.2).
+    InpPs,
+    /// Randomized response on one sampled low-weight Hadamard coefficient
+    /// of the input (§4.2, Algorithms 1–2) — the paper's headline method.
+    InpHt,
+    /// Parallel randomized response on one random k-way marginal (§4.3).
+    MargRr,
+    /// Preferential sampling within one random k-way marginal (§4.3).
+    MargPs,
+    /// Randomized response on one Hadamard coefficient of one random
+    /// k-way marginal (§4.3).
+    MargHt,
+    /// Budget-split per-attribute RR with EM decoding (§4.4, Fanti et al.).
+    InpEm,
+}
+
+impl MechanismKind {
+    /// The six unbiased mechanisms of §4 (excluding the EM heuristic), in
+    /// the paper's presentation order.
+    pub const SIX: [MechanismKind; 6] = [
+        MechanismKind::InpRr,
+        MechanismKind::InpPs,
+        MechanismKind::InpHt,
+        MechanismKind::MargRr,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+    ];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::InpRr => "InpRR",
+            MechanismKind::InpPs => "InpPS",
+            MechanismKind::InpHt => "InpHT",
+            MechanismKind::MargRr => "MargRR",
+            MechanismKind::MargPs => "MargPS",
+            MechanismKind::MargHt => "MargHT",
+            MechanismKind::InpEm => "InpEM",
+        }
+    }
+
+    /// Build the mechanism for a `d`-attribute domain targeting the full
+    /// set of `k`-way marginals under `ε`-LDP.
+    #[must_use]
+    pub fn build(self, d: u32, k: u32, eps: f64) -> Mechanism {
+        match self {
+            MechanismKind::InpRr => Mechanism::InpRr(InpRr::new(d, eps)),
+            MechanismKind::InpPs => Mechanism::InpPs(InpPs::new(d, eps)),
+            MechanismKind::InpHt => Mechanism::InpHt(InpHt::new(d, k, eps)),
+            MechanismKind::MargRr => Mechanism::MargRr(MargRr::new(d, k, eps)),
+            MechanismKind::MargPs => Mechanism::MargPs(MargPs::new(d, k, eps)),
+            MechanismKind::MargHt => Mechanism::MargHt(MargHt::new(d, k, eps)),
+            MechanismKind::InpEm => Mechanism::InpEm(InpEm::new(d, eps)),
+        }
+    }
+
+    /// The Table 2 bound descriptor for the six unbiased mechanisms
+    /// (`None` for the EM heuristic, which has no worst-case guarantee).
+    #[must_use]
+    pub fn bound(self) -> Option<MethodBound> {
+        match self {
+            MechanismKind::InpRr => Some(MethodBound::InpRr),
+            MechanismKind::InpPs => Some(MethodBound::InpPs),
+            MechanismKind::InpHt => Some(MethodBound::InpHt),
+            MechanismKind::MargRr => Some(MethodBound::MargRr),
+            MechanismKind::MargPs => Some(MethodBound::MargPs),
+            MechanismKind::MargHt => Some(MethodBound::MargHt),
+            MechanismKind::InpEm => None,
+        }
+    }
+}
+
+/// A built mechanism, ready to simulate a population.
+#[derive(Clone, Debug)]
+pub enum Mechanism {
+    /// See [`InpRr`].
+    InpRr(InpRr),
+    /// See [`InpPs`].
+    InpPs(InpPs),
+    /// See [`InpHt`].
+    InpHt(InpHt),
+    /// See [`MargRr`].
+    MargRr(MargRr),
+    /// See [`MargPs`].
+    MargPs(MargPs),
+    /// See [`MargHt`].
+    MargHt(MargHt),
+    /// See [`InpEm`].
+    InpEm(InpEm),
+}
+
+impl Mechanism {
+    /// Which kind this is.
+    #[must_use]
+    pub fn kind(&self) -> MechanismKind {
+        match self {
+            Mechanism::InpRr(_) => MechanismKind::InpRr,
+            Mechanism::InpPs(_) => MechanismKind::InpPs,
+            Mechanism::InpHt(_) => MechanismKind::InpHt,
+            Mechanism::MargRr(_) => MechanismKind::MargRr,
+            Mechanism::MargPs(_) => MechanismKind::MargPs,
+            Mechanism::MargHt(_) => MechanismKind::MargHt,
+            Mechanism::InpEm(_) => MechanismKind::InpEm,
+        }
+    }
+
+    /// Communication cost in bits per user report (Table 2; for `InpEm`,
+    /// the `d` budget-split bits).
+    #[must_use]
+    pub fn communication_bits(&self) -> u64 {
+        match self {
+            Mechanism::InpRr(m) => 1u64 << m.d(),
+            Mechanism::InpPs(m) => u64::from(m.d()),
+            Mechanism::InpHt(m) => u64::from(m.d()) + 1,
+            Mechanism::MargRr(m) => u64::from(m.d()) + (1u64 << m.k()),
+            Mechanism::MargPs(m) => u64::from(m.d()) + u64::from(m.k()),
+            Mechanism::MargHt(m) => u64::from(m.d()) + u64::from(m.k()) + 1,
+            Mechanism::InpEm(m) => u64::from(m.d()),
+        }
+    }
+
+    /// Run the full collect-and-aggregate pipeline over a population of
+    /// records (one per user), using `seed` for all client randomness.
+    ///
+    /// `InpRr` uses the exact-in-distribution aggregate simulation (see
+    /// `DESIGN.md` §2); all other mechanisms run the faithful per-user
+    /// client protocol, sharded across threads.
+    #[must_use]
+    pub fn run(&self, rows: &[u64], seed: u64) -> Estimate {
+        match self {
+            Mechanism::InpRr(m) => Estimate::Full(m.run_fast(rows, seed)),
+            Mechanism::InpPs(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
+                    InpPsAggregator::merge,
+                );
+                Estimate::Full(agg.finish())
+            }
+            Mechanism::InpHt(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
+                    InpHtAggregator::merge,
+                );
+                Estimate::Hadamard(agg.finish())
+            }
+            Mechanism::MargRr(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(&m.encode(row, rng)),
+                    MargRrAggregator::merge,
+                );
+                Estimate::MarginalSet(agg.finish())
+            }
+            Mechanism::MargPs(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
+                    MargPsAggregator::merge,
+                );
+                Estimate::MarginalSet(agg.finish())
+            }
+            Mechanism::MargHt(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
+                    MargHtAggregator::merge,
+                );
+                Estimate::MarginalSet(agg.finish())
+            }
+            Mechanism::InpEm(m) => {
+                let agg = run_population(
+                    rows,
+                    seed,
+                    || m.aggregator(),
+                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
+                    InpEmAggregator::merge,
+                );
+                Estimate::Em(agg.finish())
+            }
+        }
+    }
+}

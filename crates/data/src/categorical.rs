@@ -1,0 +1,276 @@
+//! Categorical attributes and the §6.3 binary encoding.
+//!
+//! An attribute with `r` possible values is encoded as the conjunction of
+//! `⌈log₂ r⌉` binary attributes; a schema of `d` categorical attributes
+//! becomes `d₂ = Σᵢ ⌈log₂ rᵢ⌉` binary attributes, and a k-way categorical
+//! marginal becomes a `k₂`-way binary marginal (Corollary 6.1).
+
+use crate::BinaryDataset;
+use ldp_bits::Mask;
+use ldp_sampling::AliasTable;
+use rand::Rng;
+
+/// A schema of categorical attributes with fixed arities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CategoricalSchema {
+    arities: Vec<usize>,
+    /// Number of encoding bits per attribute: `⌈log₂ rᵢ⌉` (min 1).
+    bits: Vec<u32>,
+    /// Starting bit offset of each attribute in the binary encoding.
+    offsets: Vec<u32>,
+}
+
+impl CategoricalSchema {
+    /// Build a schema; each arity must be ≥ 2. Panics if the binary
+    /// encoding exceeds 63 bits.
+    #[must_use]
+    pub fn new(arities: &[usize]) -> Self {
+        assert!(!arities.is_empty());
+        assert!(arities.iter().all(|&r| r >= 2), "arities must be ≥ 2");
+        let bits: Vec<u32> = arities
+            .iter()
+            .map(|&r| (usize::BITS - (r - 1).leading_zeros()).max(1))
+            .collect();
+        let mut offsets = Vec::with_capacity(arities.len());
+        let mut off = 0u32;
+        for &b in &bits {
+            offsets.push(off);
+            off += b;
+        }
+        assert!(off <= 63, "binary encoding exceeds 63 bits");
+        CategoricalSchema {
+            arities: arities.to_vec(),
+            bits,
+            offsets,
+        }
+    }
+
+    /// Number of categorical attributes.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.arities.len() as u32
+    }
+
+    /// The effective binary dimension `d₂ = Σᵢ ⌈log₂ rᵢ⌉` (§6.3).
+    #[must_use]
+    pub fn d2(&self) -> u32 {
+        self.bits.iter().sum()
+    }
+
+    /// Arity of attribute `i`.
+    #[must_use]
+    pub fn arity(&self, i: u32) -> usize {
+        self.arities[i as usize]
+    }
+
+    /// Binary encoding width of attribute `i`.
+    #[must_use]
+    pub fn attr_bits(&self, i: u32) -> u32 {
+        self.bits[i as usize]
+    }
+
+    /// The binary dimension `k₂` of a marginal over a categorical
+    /// attribute subset.
+    #[must_use]
+    pub fn k2(&self, attrs: &[u32]) -> u32 {
+        attrs.iter().map(|&a| self.bits[a as usize]).sum()
+    }
+
+    /// Encode one record (a value per attribute) as a binary row.
+    #[must_use]
+    pub fn encode(&self, values: &[usize]) -> u64 {
+        assert_eq!(values.len(), self.arities.len());
+        let mut row = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v < self.arities[i], "value out of range for attribute {i}");
+            row |= (v as u64) << self.offsets[i];
+        }
+        row
+    }
+
+    /// Decode a binary row back into categorical values.
+    ///
+    /// Rows containing out-of-range codes (possible since `2^bits ≥ r`)
+    /// return `None` for that attribute — callers reconstructing noisy
+    /// marginals should instead work with marginal *tables*, where
+    /// out-of-range cells simply receive (near-zero) estimated mass.
+    #[must_use]
+    pub fn decode(&self, row: u64) -> Vec<Option<usize>> {
+        self.arities
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let v = ((row >> self.offsets[i]) & ((1u64 << self.bits[i]) - 1)) as usize;
+                (v < r).then_some(v)
+            })
+            .collect()
+    }
+
+    /// The binary mask covering a set of categorical attributes — the `β`
+    /// to hand to a binary marginal mechanism to answer a categorical
+    /// marginal over those attributes.
+    #[must_use]
+    pub fn binary_mask(&self, attrs: &[u32]) -> Mask {
+        let mut bits = 0u64;
+        for &a in attrs {
+            assert!((a as usize) < self.arities.len());
+            let w = self.bits[a as usize];
+            bits |= ((1u64 << w) - 1) << self.offsets[a as usize];
+        }
+        Mask::new(bits)
+    }
+
+    /// Generate `n` records where each attribute is drawn independently
+    /// from its own distribution (`dists[i].len() == arities[i]`), and
+    /// encode them as a binary dataset.
+    pub fn generate_independent<R: Rng + ?Sized>(
+        &self,
+        dists: &[Vec<f64>],
+        n: usize,
+        rng: &mut R,
+    ) -> BinaryDataset {
+        assert_eq!(dists.len(), self.arities.len());
+        let tables: Vec<AliasTable> = dists
+            .iter()
+            .zip(&self.arities)
+            .map(|(w, &r)| {
+                assert_eq!(w.len(), r, "distribution length must match arity");
+                AliasTable::new(w)
+            })
+            .collect();
+        let rows = (0..n)
+            .map(|_| {
+                let values: Vec<usize> = tables.iter().map(|t| t.sample(rng)).collect();
+                self.encode(&values)
+            })
+            .collect();
+        BinaryDataset::new(self.d2(), rows)
+    }
+
+    /// Convert a binary marginal table over `binary_mask(attrs)` (locally
+    /// indexed, length `2^{k₂}`) to a categorical marginal table over the
+    /// product of the attribute arities. Cells whose binary code is out of
+    /// range for any attribute are dropped (their mass is noise).
+    #[must_use]
+    pub fn categorical_marginal(&self, attrs: &[u32], binary_table: &[f64]) -> Vec<f64> {
+        let k2 = self.k2(attrs);
+        assert_eq!(binary_table.len(), 1usize << k2);
+        let sizes: Vec<usize> = attrs.iter().map(|&a| self.arities[a as usize]).collect();
+        let widths: Vec<u32> = attrs.iter().map(|&a| self.bits[a as usize]).collect();
+        let out_len: usize = sizes.iter().product();
+        let mut out = vec![0.0; out_len];
+        for (cell, &v) in binary_table.iter().enumerate() {
+            // Split the k₂-bit local index into per-attribute codes
+            // (attributes appear in `attrs` order, low bits first — the
+            // same order `binary_mask` produces after compression when
+            // `attrs` is sorted ascending).
+            let mut rest = cell as u64;
+            let mut idx = 0usize;
+            let mut stride = 1usize;
+            let mut ok = true;
+            for (w, &r) in widths.iter().zip(&sizes) {
+                let code = (rest & ((1u64 << w) - 1)) as usize;
+                rest >>= w;
+                if code >= r {
+                    ok = false;
+                    break;
+                }
+                idx += code * stride;
+                stride *= r;
+            }
+            if ok {
+                out[idx] += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn bit_widths() {
+        let s = CategoricalSchema::new(&[2, 3, 4, 5, 17]);
+        assert_eq!(s.attr_bits(0), 1);
+        assert_eq!(s.attr_bits(1), 2);
+        assert_eq!(s.attr_bits(2), 2);
+        assert_eq!(s.attr_bits(3), 3);
+        assert_eq!(s.attr_bits(4), 5);
+        assert_eq!(s.d2(), 13);
+        assert_eq!(s.k2(&[1, 3]), 5);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = CategoricalSchema::new(&[3, 4, 2]);
+        for a in 0..3 {
+            for b in 0..4 {
+                for c in 0..2 {
+                    let row = s.encode(&[a, b, c]);
+                    let dec = s.decode(row);
+                    assert_eq!(dec, vec![Some(a), Some(b), Some(c)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_decodes_to_none() {
+        let s = CategoricalSchema::new(&[3]);
+        // Code 3 is representable in 2 bits but invalid for arity 3.
+        assert_eq!(s.decode(0b11), vec![None]);
+    }
+
+    #[test]
+    fn binary_mask_covers_attr_bits() {
+        let s = CategoricalSchema::new(&[3, 4, 2]);
+        // Attribute 0 occupies bits 0..2, attr 1 bits 2..4, attr 2 bit 4.
+        assert_eq!(s.binary_mask(&[0]).bits(), 0b00011);
+        assert_eq!(s.binary_mask(&[1]).bits(), 0b01100);
+        assert_eq!(s.binary_mask(&[2]).bits(), 0b10000);
+        assert_eq!(s.binary_mask(&[0, 2]).bits(), 0b10011);
+    }
+
+    #[test]
+    fn categorical_marginal_from_binary_table() {
+        let s = CategoricalSchema::new(&[3, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let dists = vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.6]];
+        let ds = s.generate_independent(&dists, 200_000, &mut rng);
+        let mask = s.binary_mask(&[0, 1]);
+        let bin_table = ds.true_marginal(mask);
+        let cat = s.categorical_marginal(&[0, 1], &bin_table);
+        assert_eq!(cat.len(), 6);
+        for a in 0..3 {
+            for b in 0..2 {
+                let expect = dists[0][a] * dists[1][b];
+                let got = cat[a + 3 * b];
+                assert!((got - expect).abs() < 0.01, "cell ({a},{b}): {got} vs {expect}");
+            }
+        }
+        // No mass lost: codes 3 (invalid for arity 3) never generated.
+        assert!((cat.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_attribute_marginal() {
+        let s = CategoricalSchema::new(&[4]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let dists = vec![vec![0.1, 0.2, 0.3, 0.4]];
+        let ds = s.generate_independent(&dists, 100_000, &mut rng);
+        let table = ds.true_marginal(s.binary_mask(&[0]));
+        let cat = s.categorical_marginal(&[0], &table);
+        for (v, &e) in cat.iter().zip(&dists[0]) {
+            assert!((v - e).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arities must be ≥ 2")]
+    fn rejects_unary_attribute() {
+        let _ = CategoricalSchema::new(&[1]);
+    }
+}

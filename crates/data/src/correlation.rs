@@ -1,0 +1,93 @@
+//! Pearson correlation between binary attributes (the Figure 3 heatmap).
+
+use crate::BinaryDataset;
+
+/// Pearson correlation coefficient between two binary attributes.
+///
+/// For bits `A`, `B` this is `(E[AB] − E[A]E[B]) / (σ_A σ_B)`; returns 0
+/// when either attribute is constant.
+#[must_use]
+pub fn pearson(ds: &BinaryDataset, a: u32, b: u32) -> f64 {
+    assert!(a < ds.d() && b < ds.d());
+    let n = ds.n() as f64;
+    assert!(n > 0.0);
+    let (mut ca, mut cb, mut cab) = (0u64, 0u64, 0u64);
+    for &r in ds.rows() {
+        let ba = (r >> a) & 1;
+        let bb = (r >> b) & 1;
+        ca += ba;
+        cb += bb;
+        cab += ba & bb;
+    }
+    let (ma, mb, mab) = (ca as f64 / n, cb as f64 / n, cab as f64 / n);
+    let va = ma * (1.0 - ma);
+    let vb = mb * (1.0 - mb);
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    (mab - ma * mb) / (va * vb).sqrt()
+}
+
+/// The full `d × d` Pearson correlation matrix (Figure 3).
+#[must_use]
+pub fn pearson_matrix(ds: &BinaryDataset) -> Vec<Vec<f64>> {
+    let d = ds.d() as usize;
+    let mut m = vec![vec![0.0; d]; d];
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..d {
+        m[a][a] = 1.0;
+        for b in (a + 1)..d {
+            let r = pearson(ds, a as u32, b as u32);
+            m[a][b] = r;
+            m[b][a] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_correlated_bits() {
+        let ds = BinaryDataset::new(2, vec![0b00, 0b11, 0b00, 0b11]);
+        assert!((pearson(&ds, 0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_anticorrelated_bits() {
+        let ds = BinaryDataset::new(2, vec![0b01, 0b10, 0b01, 0b10]);
+        assert!((pearson(&ds, 0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_bits_near_zero() {
+        // All four combinations equally often → exactly zero.
+        let ds = BinaryDataset::new(2, vec![0b00, 0b01, 0b10, 0b11]);
+        assert!(pearson(&ds, 0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_attribute_yields_zero() {
+        let ds = BinaryDataset::new(2, vec![0b01, 0b01, 0b00]);
+        // attribute 1 is... not constant here; use attribute that is.
+        let ds2 = BinaryDataset::new(2, vec![0b01, 0b01, 0b01]);
+        assert_eq!(pearson(&ds2, 0, 1), 0.0);
+        // Symmetry on the non-degenerate one.
+        assert!((pearson(&ds, 0, 1) - pearson(&ds, 1, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let ds = BinaryDataset::new(3, vec![0b000, 0b011, 0b101, 0b110, 0b111]);
+        let m = pearson_matrix(&ds);
+        for a in 0..3 {
+            assert_eq!(m[a][a], 1.0);
+            for b in 0..3 {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! In-memory collections of binary records.
+
+use ldp_bits::{compress, Mask};
+use rand::Rng;
+
+/// A dataset of `N` records over `d` binary attributes; record `i` is the
+/// `d`-bit index `j_i ∈ {0,1}^d` of the paper's one-hot view `t_i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinaryDataset {
+    d: u32,
+    rows: Vec<u64>,
+}
+
+impl BinaryDataset {
+    /// Wrap rows over a `d`-attribute domain. Panics if any row uses bits
+    /// outside the domain or `d > 63`.
+    #[must_use]
+    pub fn new(d: u32, rows: Vec<u64>) -> Self {
+        assert!(d <= 63, "at most 63 binary attributes");
+        let full = Mask::full(d).bits();
+        assert!(
+            rows.iter().all(|&r| r & !full == 0),
+            "row uses attributes outside the domain"
+        );
+        BinaryDataset { d, rows }
+    }
+
+    /// Number of attributes `d`.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of records `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the dataset has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw records.
+    #[must_use]
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// The empirical full distribution `t ∈ R^{2^d}` (sums to 1).
+    /// Materializes `2^d` cells — intended for `d ≲ 26`.
+    #[must_use]
+    pub fn full_distribution(&self) -> Vec<f64> {
+        assert!(self.d <= 26, "full distribution too large for d = {}", self.d);
+        assert!(!self.rows.is_empty(), "empty dataset has no distribution");
+        let mut counts = vec![0.0f64; 1usize << self.d];
+        for &r in &self.rows {
+            counts[r as usize] += 1.0;
+        }
+        let inv = 1.0 / self.rows.len() as f64;
+        for c in counts.iter_mut() {
+            *c *= inv;
+        }
+        counts
+    }
+
+    /// The exact (non-private) marginal `C_β(t)` as a locally-indexed
+    /// table of length `2^|β|`, computed in `O(N)` without materializing
+    /// the full distribution.
+    #[must_use]
+    pub fn true_marginal(&self, beta: Mask) -> Vec<f64> {
+        assert!(beta.is_subset_of(Mask::full(self.d)), "mask outside domain");
+        assert!(!self.rows.is_empty(), "empty dataset has no marginal");
+        let mut table = vec![0.0f64; beta.table_len()];
+        for &r in &self.rows {
+            table[compress(r, beta.bits()) as usize] += 1.0;
+        }
+        let inv = 1.0 / self.rows.len() as f64;
+        for c in table.iter_mut() {
+            *c *= inv;
+        }
+        table
+    }
+
+    /// Empirical mean of one attribute (fraction of records with the bit
+    /// set).
+    #[must_use]
+    pub fn attribute_mean(&self, attr: u32) -> f64 {
+        assert!(attr < self.d);
+        let ones = self
+            .rows
+            .iter()
+            .filter(|&&r| (r >> attr) & 1 == 1)
+            .count();
+        ones as f64 / self.rows.len() as f64
+    }
+
+    /// Sample `n` records uniformly **with replacement** (the paper's
+    /// per-experiment resampling of the population).
+    #[must_use]
+    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Self {
+        assert!(!self.rows.is_empty());
+        let rows = (0..n)
+            .map(|_| self.rows[rng.gen_range(0..self.rows.len())])
+            .collect();
+        BinaryDataset { d: self.d, rows }
+    }
+
+    /// Extend the dimensionality to `target_d` by duplicating existing
+    /// columns round-robin — exactly how the paper scales the taxi data to
+    /// larger `d` for Figure 6 ("achieved by duplicating columns").
+    #[must_use]
+    pub fn duplicate_columns(&self, target_d: u32) -> Self {
+        assert!(target_d >= self.d && target_d <= 63);
+        let rows = self
+            .rows
+            .iter()
+            .map(|&r| {
+                let mut out = r;
+                for b in self.d..target_d {
+                    let src = b % self.d;
+                    out |= ((r >> src) & 1) << b;
+                }
+                out
+            })
+            .collect();
+        BinaryDataset {
+            d: target_d,
+            rows,
+        }
+    }
+
+    /// Project the dataset onto a subset of attributes (re-indexed to the
+    /// low bits) — used to subsample dimensions as in §5.1.
+    #[must_use]
+    pub fn project(&self, attrs: Mask) -> Self {
+        assert!(attrs.is_subset_of(Mask::full(self.d)));
+        let rows = self
+            .rows
+            .iter()
+            .map(|&r| compress(r, attrs.bits()))
+            .collect();
+        BinaryDataset {
+            d: attrs.weight(),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_transform::marginalize;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy() -> BinaryDataset {
+        // d = 3; rows chosen so every marginal is easy to verify.
+        BinaryDataset::new(3, vec![0b000, 0b001, 0b001, 0b111, 0b101, 0b101, 0b011, 0b000])
+    }
+
+    #[test]
+    fn full_distribution_sums_to_one() {
+        let t = toy().full_distribution();
+        assert_eq!(t.len(), 8);
+        assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((t[0b001] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_matches_full_distribution_path() {
+        let ds = toy();
+        let full = ds.full_distribution();
+        for beta_bits in 0u64..8 {
+            let beta = Mask::new(beta_bits);
+            let direct = ds.true_marginal(beta);
+            let via_full = marginalize(&full, 3, beta);
+            for (a, b) in direct.iter().zip(&via_full) {
+                assert!((a - b).abs() < 1e-12, "beta={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_means() {
+        let ds = toy();
+        assert!((ds.attribute_mean(0) - 6.0 / 8.0).abs() < 1e-12);
+        assert!((ds.attribute_mean(2) - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_columns_copies_bits() {
+        let ds = BinaryDataset::new(2, vec![0b01, 0b10, 0b11]);
+        let big = ds.duplicate_columns(5);
+        assert_eq!(big.d(), 5);
+        // bit 2 copies bit 0, bit 3 copies bit 1, bit 4 copies bit 0.
+        assert_eq!(big.rows()[0], 0b10101);
+        assert_eq!(big.rows()[1], 0b01010);
+        assert_eq!(big.rows()[2], 0b11111);
+        // Duplicated column is perfectly correlated with its source.
+        let m = big.true_marginal(Mask::from_attrs(&[0, 2]));
+        assert_eq!(m[0b01], 0.0);
+        assert_eq!(m[0b10], 0.0);
+    }
+
+    #[test]
+    fn projection_reindexes() {
+        let ds = toy();
+        let proj = ds.project(Mask::from_attrs(&[0, 2]));
+        assert_eq!(proj.d(), 2);
+        let m2 = proj.true_marginal(Mask::full(2));
+        let m3 = ds.true_marginal(Mask::from_attrs(&[0, 2]));
+        assert_eq!(m2, m3);
+    }
+
+    #[test]
+    fn resampling_preserves_domain() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = ds.sample_with_replacement(1000, &mut rng);
+        assert_eq!(s.n(), 1000);
+        assert_eq!(s.d(), 3);
+        // Resampled frequencies close to originals.
+        let a = ds.true_marginal(Mask::full(3));
+        let b = s.true_marginal(Mask::full(3));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.06);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn rejects_out_of_domain_rows() {
+        let _ = BinaryDataset::new(2, vec![0b100]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Dataset substrate: binary record collections, exact (non-private)
+//! marginals, and synthetic generators standing in for the paper's two
+//! evaluation datasets.
+//!
+//! The mechanisms only ever see the empirical distribution of `d`-bit user
+//! records, so the generators are calibrated to match the *structure* the
+//! paper's evaluation depends on (see `DESIGN.md` §2):
+//!
+//! * [`taxi`] — NYC-taxi-like generator: 8 binary attributes of Table 1,
+//!   the Figure 2 ⟨M_pick, M_drop⟩ joint, and the Figure 3 correlation
+//!   pattern (three strongly-positive pairs, weak/negative elsewhere);
+//! * [`movielens`] — MovieLens-like genre preferences: latent per-user
+//!   activity × per-genre popularity, all pairs positively correlated;
+//! * [`synthetic`] — product-Bernoulli and lightly-skewed full-domain
+//!   distributions (Figure 10);
+//! * [`categorical`] — categorical schemas and the §6.3 binary encoding.
+
+pub mod categorical;
+mod correlation;
+mod dataset;
+pub mod movielens;
+pub mod synthetic;
+pub mod taxi;
+
+pub use correlation::{pearson, pearson_matrix};
+pub use dataset::BinaryDataset;

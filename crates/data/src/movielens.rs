@@ -1,0 +1,119 @@
+//! MovieLens-like synthetic generator (substitute for the paper's derived
+//! "video viewing preference" bit vectors; see `DESIGN.md` §2).
+//!
+//! Each user has a latent activity level `a ∈ (0, 1)`; attribute `j`
+//! ("rated at least one top movie of genre `j`") fires with probability
+//! `clamp(a · pop_j)`, where `pop_j` is the genre's popularity. The shared
+//! latent factor makes **all pairs positively correlated**, the property
+//! the paper highlights for this dataset.
+
+use crate::BinaryDataset;
+use rand::Rng;
+
+/// Generator for `d` positively-correlated preference bits.
+#[derive(Clone, Debug)]
+pub struct MovieLensGenerator {
+    /// Per-genre popularity weights in `(0, 1]`, length `d`.
+    pub popularity: Vec<f64>,
+    /// Exponent shaping the activity distribution (`a = u^shape` for
+    /// uniform `u`); larger values → more light users → stronger
+    /// correlation heterogeneity.
+    pub activity_shape: f64,
+}
+
+impl MovieLensGenerator {
+    /// Default generator for `d` genres: popularity decays geometrically
+    /// from ~0.95 with a floor at 0.15, matching "top-1000 per genre" bits
+    /// where even niche genres have substantial coverage.
+    #[must_use]
+    pub fn new(d: u32) -> Self {
+        assert!((1..=30).contains(&d), "supported range 1 ≤ d ≤ 30");
+        let popularity = (0..d)
+            .map(|j| (0.95 * 0.88f64.powi(j as i32)).max(0.15))
+            .collect();
+        MovieLensGenerator {
+            popularity,
+            activity_shape: 1.6,
+        }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.popularity.len() as u32
+    }
+
+    /// Generate one user's preference row.
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let activity: f64 = rng.gen::<f64>().powf(self.activity_shape) * 0.95 + 0.05;
+        let mut row = 0u64;
+        for (j, &pop) in self.popularity.iter().enumerate() {
+            let p = (activity * (pop + 0.35)).clamp(0.0, 1.0);
+            if rng.gen_bool(p) {
+                row |= 1u64 << j;
+            }
+        }
+        row
+    }
+
+    /// Generate a dataset of `n` users.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> BinaryDataset {
+        let d = self.d();
+        let rows = (0..n).map(|_| self.sample_row(rng)).collect();
+        BinaryDataset::new(d, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearson_matrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_pairs_positively_correlated() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let gen = MovieLensGenerator::new(10);
+        let ds = gen.generate(100_000, &mut rng);
+        let corr = pearson_matrix(&ds);
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert!(corr[a][b] > 0.03, "pair ({a},{b}): {}", corr[a][b]);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_ordering_respected() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let gen = MovieLensGenerator::new(8);
+        let ds = gen.generate(100_000, &mut rng);
+        // Genre 0 is most popular, genre 7 least (allow small sampling slack).
+        let first = ds.attribute_mean(0);
+        let last = ds.attribute_mean(7);
+        assert!(first > last + 0.05, "{first} vs {last}");
+    }
+
+    #[test]
+    fn means_are_interior() {
+        // No attribute should be degenerate (all 0 / all 1).
+        let mut rng = StdRng::seed_from_u64(22);
+        let ds = MovieLensGenerator::new(16).generate(50_000, &mut rng);
+        for j in 0..16 {
+            let m = ds.attribute_mean(j);
+            assert!((0.02..=0.98).contains(&m), "attr {j}: {m}");
+        }
+    }
+
+    #[test]
+    fn dimension_range_enforced() {
+        assert_eq!(MovieLensGenerator::new(4).d(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported range")]
+    fn rejects_oversized_d() {
+        let _ = MovieLensGenerator::new(31);
+    }
+}

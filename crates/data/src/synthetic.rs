@@ -1,0 +1,139 @@
+//! Product-Bernoulli and skewed full-domain synthetic distributions
+//! (the "lightly skewed" data of Figure 10, plus workloads for tests).
+
+use crate::BinaryDataset;
+use ldp_sampling::AliasTable;
+use rand::Rng;
+
+/// A dataset whose attributes are independent Bernoulli variables with the
+/// given means.
+pub fn product_bernoulli<R: Rng + ?Sized>(
+    probs: &[f64],
+    n: usize,
+    rng: &mut R,
+) -> BinaryDataset {
+    assert!(!probs.is_empty() && probs.len() <= 63);
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    let d = probs.len() as u32;
+    let rows = (0..n)
+        .map(|_| {
+            let mut row = 0u64;
+            for (j, &p) in probs.iter().enumerate() {
+                if rng.gen_bool(p) {
+                    row |= 1u64 << j;
+                }
+            }
+            row
+        })
+        .collect();
+    BinaryDataset::new(d, rows)
+}
+
+/// A uniform dataset over `{0,1}^d`.
+pub fn uniform<R: Rng + ?Sized>(d: u32, n: usize, rng: &mut R) -> BinaryDataset {
+    assert!(d <= 63);
+    let mask = if d == 63 { (1u64 << 63) - 1 } else { (1u64 << d) - 1 };
+    let rows = (0..n).map(|_| rng.gen::<u64>() & mask).collect();
+    BinaryDataset::new(d, rows)
+}
+
+/// A full-domain distribution with Zipf-like cell weights
+/// `w_r ∝ 1/(r+1)^s` assigned to cells in a pseudo-random order, then a
+/// dataset of `n` i.i.d. draws from it. `s ≈ 0.5` gives the "lightly
+/// skewed" input of Figure 10; larger `s` gives the "more skewed" variant
+/// the paper mentions favors the sketch.
+pub fn zipf_skewed<R: Rng + ?Sized>(d: u32, s: f64, n: usize, rng: &mut R) -> BinaryDataset {
+    assert!(d <= 24, "full-domain skewed generator supports d ≤ 24");
+    let cells = 1usize << d;
+    let mut weights: Vec<f64> = (0..cells).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+    // Shuffle which cell gets which weight so skew is not aligned with the
+    // numeric order of the domain (Fisher–Yates).
+    for i in (1..cells).rev() {
+        let j = rng.gen_range(0..=i);
+        weights.swap(i, j);
+    }
+    let table = AliasTable::new(&weights);
+    let rows = (0..n).map(|_| table.sample(rng) as u64).collect();
+    BinaryDataset::new(d, rows)
+}
+
+/// A point-mass-plus-noise dataset: fraction `heavy` of the records take
+/// the single value `mode`; the rest are uniform. Useful for testing
+/// frequency-oracle heavy-hitter behavior.
+pub fn point_mass<R: Rng + ?Sized>(
+    d: u32,
+    mode: u64,
+    heavy: f64,
+    n: usize,
+    rng: &mut R,
+) -> BinaryDataset {
+    assert!((0.0..=1.0).contains(&heavy));
+    assert!(d <= 63 && mode < (1u64 << d));
+    let mask = (1u64 << d) - 1;
+    let rows = (0..n)
+        .map(|_| {
+            if rng.gen_bool(heavy) {
+                mode
+            } else {
+                rng.gen::<u64>() & mask
+            }
+        })
+        .collect();
+    BinaryDataset::new(d, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_bits::Mask;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn product_means_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs = [0.1, 0.5, 0.9];
+        let ds = product_bernoulli(&probs, 100_000, &mut rng);
+        for (j, &p) in probs.iter().enumerate() {
+            assert!((ds.attribute_mean(j as u32) - p).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn product_attrs_independent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = product_bernoulli(&[0.3, 0.6], 200_000, &mut rng);
+        let joint = ds.true_marginal(Mask::full(2));
+        let expect_11 = 0.3 * 0.6;
+        assert!((joint[0b11] - expect_11).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = uniform(4, 200_000, &mut rng);
+        let t = ds.full_distribution();
+        for v in &t {
+            assert!((v - 1.0 / 16.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_but_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = zipf_skewed(6, 1.0, 200_000, &mut rng);
+        let t = ds.full_distribution();
+        let max = t.iter().cloned().fold(0.0, f64::max);
+        let min = t.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 3.0 * (1.0 / 64.0), "max cell {max}");
+        assert!(min < 1.0 / 64.0, "min cell {min}");
+        assert!(max < 0.5, "should be lightly skewed, not a point mass");
+    }
+
+    #[test]
+    fn point_mass_has_heavy_mode() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = point_mass(8, 42, 0.3, 100_000, &mut rng);
+        let t = ds.full_distribution();
+        assert!(t[42] > 0.29);
+    }
+}

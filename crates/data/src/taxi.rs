@@ -1,0 +1,231 @@
+//! NYC-taxi-like synthetic generator (substitute for the paper's 3M
+//! Manhattan trip records; see `DESIGN.md` §2).
+//!
+//! Eight binary attributes (Table 1 of the paper), generated from a small
+//! Bayesian network calibrated so that:
+//!
+//! * the ⟨M_pick, M_drop⟩ 2-way marginal matches Figure 2
+//!   (YY = 0.55, YN = 0.15, NY = 0.10, NN = 0.20);
+//! * ⟨Night_pick, Night_drop⟩, ⟨Toll, Far⟩ and ⟨CC, Tip⟩ are strongly
+//!   positively correlated (the pairs the paper's χ² test must declare
+//!   dependent);
+//! * ⟨M_drop, CC⟩, ⟨Far, Night_pick⟩ and ⟨Toll, Night_pick⟩ are
+//!   independent by construction (the pairs the χ² test must not reject);
+//! * remaining cross-pairs are weak or negative, as in the Figure 3
+//!   heatmap.
+
+use crate::BinaryDataset;
+use rand::Rng;
+
+/// Bit positions of the eight attributes (Table 1).
+pub mod attr {
+    /// Paid by credit card?
+    pub const CC: u32 = 0;
+    /// Paid a toll?
+    pub const TOLL: u32 = 1;
+    /// Journey distance ≥ 10 miles?
+    pub const FAR: u32 = 2;
+    /// Pickup time ≥ 8 PM?
+    pub const NIGHT_PICK: u32 = 3;
+    /// Drop-off time ≤ 3 AM?
+    pub const NIGHT_DROP: u32 = 4;
+    /// Origin within Manhattan?
+    pub const M_PICK: u32 = 5;
+    /// Destination within Manhattan?
+    pub const M_DROP: u32 = 6;
+    /// Tip ≥ 25% of fare?
+    pub const TIP: u32 = 7;
+}
+
+/// Human-readable attribute names, indexed by bit position.
+pub const ATTRIBUTE_NAMES: [&str; 8] = [
+    "CC",
+    "Toll",
+    "Far",
+    "Night_pick",
+    "Night_drop",
+    "M_pick",
+    "M_drop",
+    "Tip",
+];
+
+/// The Figure 2 joint distribution of (M_pick, M_drop), indexed
+/// `[m_pick][m_drop]` with 1 = "Y".
+pub const MPICK_MDROP_JOINT: [[f64; 2]; 2] = [
+    // m_pick = N:        m_drop = N, m_drop = Y
+    [0.20, 0.10],
+    // m_pick = Y:
+    [0.15, 0.55],
+];
+
+/// Parameters of the taxi Bayesian network. The defaults reproduce the
+/// paper's correlation structure; fields are public so experiments can
+/// perturb the network.
+#[derive(Clone, Debug)]
+pub struct TaxiGenerator {
+    /// P(Far = 1 | both endpoints in Manhattan).
+    pub p_far_within: f64,
+    /// P(Far = 1 | at least one endpoint outside Manhattan).
+    pub p_far_outside: f64,
+    /// P(Toll = 1 | Far).
+    pub p_toll_far: f64,
+    /// P(Toll = 1 | ¬Far).
+    pub p_toll_near: f64,
+    /// P(Night_pick = 1).
+    pub p_night_pick: f64,
+    /// P(Night_drop = 1 | Night_pick).
+    pub p_nd_np: f64,
+    /// P(Night_drop = 1 | ¬Night_pick).
+    pub p_nd_day: f64,
+    /// P(CC = 1).
+    pub p_cc: f64,
+    /// P(Tip = 1 | CC).
+    pub p_tip_cc: f64,
+    /// P(Tip = 1 | ¬CC) — cash tips are rarely recorded.
+    pub p_tip_cash: f64,
+}
+
+impl Default for TaxiGenerator {
+    fn default() -> Self {
+        TaxiGenerator {
+            p_far_within: 0.04,
+            p_far_outside: 0.42,
+            p_toll_far: 0.78,
+            p_toll_near: 0.07,
+            p_night_pick: 0.25,
+            p_nd_np: 0.82,
+            p_nd_day: 0.06,
+            p_cc: 0.55,
+            p_tip_cc: 0.68,
+            p_tip_cash: 0.07,
+        }
+    }
+}
+
+impl TaxiGenerator {
+    /// Generate one trip record as an 8-bit row.
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // (M_pick, M_drop) drawn jointly from the Figure 2 table.
+        let u: f64 = rng.gen();
+        let (m_pick, m_drop) = if u < MPICK_MDROP_JOINT[1][1] {
+            (1u64, 1u64)
+        } else if u < MPICK_MDROP_JOINT[1][1] + MPICK_MDROP_JOINT[1][0] {
+            (1, 0)
+        } else if u < MPICK_MDROP_JOINT[1][1] + MPICK_MDROP_JOINT[1][0] + MPICK_MDROP_JOINT[0][1]
+        {
+            (0, 1)
+        } else {
+            (0, 0)
+        };
+        let within = m_pick == 1 && m_drop == 1;
+        let far = rng.gen_bool(if within {
+            self.p_far_within
+        } else {
+            self.p_far_outside
+        }) as u64;
+        let toll = rng.gen_bool(if far == 1 {
+            self.p_toll_far
+        } else {
+            self.p_toll_near
+        }) as u64;
+        let night_pick = rng.gen_bool(self.p_night_pick) as u64;
+        let night_drop = rng.gen_bool(if night_pick == 1 {
+            self.p_nd_np
+        } else {
+            self.p_nd_day
+        }) as u64;
+        let cc = rng.gen_bool(self.p_cc) as u64;
+        let tip = rng.gen_bool(if cc == 1 {
+            self.p_tip_cc
+        } else {
+            self.p_tip_cash
+        }) as u64;
+
+        cc << attr::CC
+            | toll << attr::TOLL
+            | far << attr::FAR
+            | night_pick << attr::NIGHT_PICK
+            | night_drop << attr::NIGHT_DROP
+            | m_pick << attr::M_PICK
+            | m_drop << attr::M_DROP
+            | tip << attr::TIP
+    }
+
+    /// Generate a dataset of `n` trips (`d = 8`).
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> BinaryDataset {
+        let rows = (0..n).map(|_| self.sample_row(rng)).collect();
+        BinaryDataset::new(8, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearson_matrix;
+    use ldp_bits::Mask;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn big_sample() -> BinaryDataset {
+        let mut rng = StdRng::seed_from_u64(2018);
+        TaxiGenerator::default().generate(200_000, &mut rng)
+    }
+
+    #[test]
+    fn matches_figure_2_joint() {
+        let ds = big_sample();
+        let beta = Mask::from_attrs(&[attr::M_PICK, attr::M_DROP]);
+        let m = ds.true_marginal(beta);
+        // Local bit 0 = M_pick, local bit 1 = M_drop.
+        assert!((m[0b11] - 0.55).abs() < 0.01, "YY {}", m[0b11]);
+        assert!((m[0b01] - 0.15).abs() < 0.01, "YN {}", m[0b01]);
+        assert!((m[0b10] - 0.10).abs() < 0.01, "NY {}", m[0b10]);
+        assert!((m[0b00] - 0.20).abs() < 0.01, "NN {}", m[0b00]);
+    }
+
+    #[test]
+    fn strong_positive_pairs() {
+        let ds = big_sample();
+        let corr = pearson_matrix(&ds);
+        for (a, b) in [
+            (attr::NIGHT_PICK, attr::NIGHT_DROP),
+            (attr::TOLL, attr::FAR),
+            (attr::CC, attr::TIP),
+            (attr::M_PICK, attr::M_DROP),
+        ] {
+            assert!(
+                corr[a as usize][b as usize] > 0.4,
+                "{} vs {}: {}",
+                ATTRIBUTE_NAMES[a as usize],
+                ATTRIBUTE_NAMES[b as usize],
+                corr[a as usize][b as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn independent_pairs_have_tiny_correlation() {
+        let ds = big_sample();
+        let corr = pearson_matrix(&ds);
+        for (a, b) in [
+            (attr::M_DROP, attr::CC),
+            (attr::FAR, attr::NIGHT_PICK),
+            (attr::TOLL, attr::NIGHT_PICK),
+        ] {
+            assert!(
+                corr[a as usize][b as usize].abs() < 0.02,
+                "{} vs {}: {}",
+                ATTRIBUTE_NAMES[a as usize],
+                ATTRIBUTE_NAMES[b as usize],
+                corr[a as usize][b as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn manhattan_trips_are_negatively_correlated_with_far() {
+        let ds = big_sample();
+        let corr = pearson_matrix(&ds);
+        assert!(corr[attr::FAR as usize][attr::M_PICK as usize] < -0.1);
+        assert!(corr[attr::FAR as usize][attr::M_DROP as usize] < -0.1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Budget splitting (BS): releasing `m` pieces of information each under
+//! `(ε/m)`-LDP composes to ε-LDP (§3.1). Used by the InpEM baseline,
+//! which applies `(ε/d)`-RR independently to each of the `d` attributes.
+
+use crate::check_epsilon;
+
+/// The per-piece budget when splitting ε over `m` releases.
+#[must_use]
+pub fn split_epsilon(eps: f64, m: u32) -> f64 {
+    check_epsilon(eps);
+    assert!(m >= 1, "must split over at least one piece");
+    eps / f64::from(m)
+}
+
+/// Sequential composition: the total ε spent by a sequence of releases.
+#[must_use]
+pub fn compose(parts: &[f64]) -> f64 {
+    parts.iter().inspect(|e| check_epsilon(**e)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryRandomizedResponse;
+
+    #[test]
+    fn split_then_compose_is_identity() {
+        let eps = 1.1;
+        let per = split_epsilon(eps, 8);
+        assert!((compose(&[per; 8]) - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_channels_compose_to_total_epsilon() {
+        // d independent (ε/d)-RR channels tensor to exactly ε-LDP.
+        let eps = 1.2;
+        let d = 3u32;
+        let rr = BinaryRandomizedResponse::for_epsilon(split_epsilon(eps, d));
+        let mut ch = rr.channel();
+        for _ in 1..d {
+            ch = ch.tensor(&rr.channel());
+        }
+        assert!((ch.ldp_epsilon() - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_split() {
+        let _ = split_epsilon(1.0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Explicit randomization channels and LDP verification.
+
+/// A discrete randomization channel: `probs[x][y] = Pr[output = y | input = x]`.
+///
+/// Used in tests to verify that a primitive satisfies ε-LDP by checking
+/// the worst-case ratio of Definition 3.1 exactly, rather than relying on
+/// the algebra being right.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    probs: Vec<Vec<f64>>,
+}
+
+impl Channel {
+    /// Build from a row-stochastic matrix. Panics if any row does not sum
+    /// to 1 (within 1e-9) or contains a negative entry.
+    #[must_use]
+    pub fn new(probs: Vec<Vec<f64>>) -> Self {
+        assert!(!probs.is_empty());
+        let cols = probs[0].len();
+        for (x, row) in probs.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged channel matrix");
+            assert!(
+                row.iter().all(|p| *p >= -1e-12),
+                "negative probability in row {x}"
+            );
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {x} sums to {s}");
+        }
+        Channel { probs }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Number of outputs.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.probs[0].len()
+    }
+
+    /// `Pr[output = y | input = x]`.
+    #[must_use]
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.probs[x][y]
+    }
+
+    /// The tightest ε such that the channel is ε-LDP over **all** input
+    /// pairs: `max_{x,x',y} ln(P[y|x] / P[y|x'])`.
+    ///
+    /// Returns `f64::INFINITY` if some output is possible under one input
+    /// but impossible under another.
+    #[must_use]
+    pub fn ldp_epsilon(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for x1 in 0..self.inputs() {
+            for x2 in 0..self.inputs() {
+                if x1 == x2 {
+                    continue;
+                }
+                for y in 0..self.outputs() {
+                    let (p, q) = (self.probs[x1][y], self.probs[x2][y]);
+                    if p == 0.0 && q == 0.0 {
+                        continue;
+                    }
+                    if q == 0.0 {
+                        return f64::INFINITY;
+                    }
+                    worst = worst.max((p / q).ln());
+                }
+            }
+        }
+        worst
+    }
+
+    /// Tensor product of two channels (independent parallel composition):
+    /// input `(x1, x2)`, output `(y1, y2)`. Indexing is
+    /// `x = x1 * other.inputs() + x2` (likewise outputs).
+    #[must_use]
+    pub fn tensor(&self, other: &Channel) -> Channel {
+        let mut probs =
+            vec![vec![0.0; self.outputs() * other.outputs()]; self.inputs() * other.inputs()];
+        for x1 in 0..self.inputs() {
+            for x2 in 0..other.inputs() {
+                for y1 in 0..self.outputs() {
+                    for y2 in 0..other.outputs() {
+                        probs[x1 * other.inputs() + x2][y1 * other.outputs() + y2] =
+                            self.probs[x1][y1] * other.probs[x2][y2];
+                    }
+                }
+            }
+        }
+        Channel::new(probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_channel_is_infinitely_revealing() {
+        let c = Channel::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(c.ldp_epsilon(), f64::INFINITY);
+    }
+
+    #[test]
+    fn uniform_channel_is_perfectly_private() {
+        let c = Channel::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert_eq!(c.ldp_epsilon(), 0.0);
+    }
+
+    #[test]
+    fn rr_channel_epsilon() {
+        let eps = 1.1f64;
+        let p = eps.exp() / (1.0 + eps.exp());
+        let c = Channel::new(vec![vec![p, 1.0 - p], vec![1.0 - p, p]]);
+        assert!((c.ldp_epsilon() - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tensor_adds_epsilons() {
+        let eps = 0.7f64;
+        let p = eps.exp() / (1.0 + eps.exp());
+        let rr = Channel::new(vec![vec![p, 1.0 - p], vec![1.0 - p, p]]);
+        let two = rr.tensor(&rr);
+        assert!((two.ldp_epsilon() - 2.0 * eps).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_non_stochastic() {
+        let _ = Channel::new(vec![vec![0.5, 0.4]]);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Basic local-differential-privacy primitives (§3.1 of the paper).
+//!
+//! These are the building blocks composed by the marginal mechanisms in
+//! `ldp-core`:
+//!
+//! * [`BinaryRandomizedResponse`] — classic 1-bit RR (Warner 1965);
+//! * [`GeneralizedRandomizedResponse`] — the paper's *Preferential
+//!   Sampling* (a.k.a. GRR / Direct Encoding): report one index out of a
+//!   domain of `m`, truthfully with probability `p_s`;
+//! * [`UnaryEncoding`] — *Parallel Randomized Response* (BasicRAPPOR):
+//!   independent RR on every position of a one-hot vector, with either the
+//!   paper's symmetric `ε/2` probabilities or Wang et al.'s optimized
+//!   (OUE) probabilities;
+//! * [`budget`] — ε-splitting for budget-sharing compositions (InpEM);
+//! * [`Channel`] — an explicit conditional-probability matrix with an
+//!   LDP-ratio checker, used by tests to *prove* each primitive's ε;
+//! * [`theory`] — variance formulas and the Theorem 4.2 master tail
+//!   bound, used by the statistical tests and the Table 2 harness.
+
+pub mod budget;
+mod channel;
+mod grr;
+mod rr;
+pub mod theory;
+mod unary;
+
+pub use channel::Channel;
+pub use grr::GeneralizedRandomizedResponse;
+pub use rr::BinaryRandomizedResponse;
+pub use unary::{UnaryEncoding, UnaryFlavor};
+
+/// Validate a privacy parameter: finite and strictly positive.
+#[inline]
+pub fn check_epsilon(eps: f64) {
+    assert!(
+        eps.is_finite() && eps > 0.0,
+        "privacy parameter ε must be positive and finite, got {eps}"
+    );
+}

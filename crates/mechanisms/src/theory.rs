@@ -1,0 +1,260 @@
+//! Theoretical bounds: the Theorem 4.2 master tail bound and the Table 2
+//! error/communication summary, used by statistical tests (empirical error
+//! must respect the theory) and by the `table2_summary` harness.
+
+use crate::check_epsilon;
+
+/// The Theorem 4.2 tail bound: for users sampling an element with
+/// probability `ps` and applying randomized response with keep-probability
+/// `pr` to a `{−1,+1}` value,
+///
+/// `Pr[ |Σ(t*_i − t_i)| / N ≥ c ] ≤ 2·exp( − N c² p_s (2p_r − 1) /
+///   (2 p_r (2(1−p_r)/(2p_r−1) + c/3)) )`.
+#[must_use]
+pub fn master_tail_bound(n: usize, ps: f64, pr: f64, c: f64) -> f64 {
+    assert!(ps > 0.0 && ps <= 1.0, "sampling probability in (0,1]");
+    assert!(pr > 0.5 && pr < 1.0, "RR keep probability in (1/2,1)");
+    assert!(c > 0.0);
+    let s = 2.0 * pr - 1.0;
+    let denom = 2.0 * pr * (2.0 * (1.0 - pr) / s + c / 3.0);
+    (2.0 * (-((n as f64) * c * c * ps * s) / denom).exp()).min(1.0)
+}
+
+/// Invert [`master_tail_bound`] (numerically) for the error level `c`
+/// such that the failure probability is at most `delta`.
+#[must_use]
+pub fn master_error_at_confidence(n: usize, ps: f64, pr: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0);
+    // Monotone in c: bisect on [1e-12, hi].
+    let mut lo = 1e-12f64;
+    let mut hi = 1.0f64;
+    while master_tail_bound(n, ps, pr, hi) > delta {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return f64::INFINITY;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if master_tail_bound(n, ps, pr, mid) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// The number of Hadamard coefficients sampled by `InpHT`:
+/// `T = Σ_{ℓ=1}^{k} C(d, ℓ)`.
+#[must_use]
+pub fn coefficient_count(d: u32, k: u32) -> u64 {
+    (1..=k.min(d))
+        .map(|l| ldp_binomial(u64::from(d), u64::from(l)))
+        .sum()
+}
+
+// A tiny local binomial to avoid a dependency cycle with ldp-bits.
+fn ldp_binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u128 = 1;
+    for i in 0..k {
+        r = r * (n - i) as u128 / (i + 1) as u128;
+    }
+    r as u64
+}
+
+/// Approximate variance of one estimated scaled Hadamard coefficient
+/// under `InpHT` with `N` users: each user reports a given coefficient
+/// with probability `1/T`, and the per-report unbiased value `±1/(2p−1)`
+/// has variance at most `1/(2p−1)²`, so
+/// `Var[ĉ_α] ≈ T / (N (2p_r − 1)²)`.
+#[must_use]
+pub fn inpht_coefficient_variance(d: u32, k: u32, eps: f64, n: usize) -> f64 {
+    check_epsilon(eps);
+    assert!(n > 0);
+    let t = coefficient_count(d, k) as f64;
+    let p = eps.exp() / (1.0 + eps.exp());
+    let s = 2.0 * p - 1.0;
+    t / (n as f64 * s * s)
+}
+
+/// Approximate variance of one reconstructed k-way marginal *cell* under
+/// `InpHT`: the cell is `2^{−k} Σ_{α⪯β} ±ĉ_α` with `2^k − 1` noisy
+/// coefficients, so `Var[cell] ≈ 2^{−2k} (2^k − 1) Var[ĉ]`.
+#[must_use]
+pub fn inpht_cell_variance(d: u32, k: u32, eps: f64, n: usize) -> f64 {
+    let vc = inpht_coefficient_variance(d, k, eps, n);
+    let cells = (1u64 << k) as f64;
+    (cells - 1.0) / (cells * cells) * vc
+}
+
+/// The six algorithms of §4, in the paper's presentation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodBound {
+    /// Parallel RR on the full input vector.
+    InpRr,
+    /// Preferential sampling of the input index.
+    InpPs,
+    /// Sampled Hadamard coefficient of the input.
+    InpHt,
+    /// Parallel RR on a random k-way marginal.
+    MargRr,
+    /// Preferential sampling within a random k-way marginal.
+    MargPs,
+    /// Sampled Hadamard coefficient of a random k-way marginal.
+    MargHt,
+}
+
+impl MethodBound {
+    /// All six methods.
+    pub const ALL: [MethodBound; 6] = [
+        MethodBound::InpRr,
+        MethodBound::InpPs,
+        MethodBound::InpHt,
+        MethodBound::MargRr,
+        MethodBound::MargPs,
+        MethodBound::MargHt,
+    ];
+
+    /// Communication cost in bits per user (Table 2).
+    #[must_use]
+    pub fn communication_bits(self, d: u32, k: u32) -> u64 {
+        let (d, k) = (u64::from(d), u64::from(k));
+        match self {
+            MethodBound::InpRr => 1u64 << d,
+            MethodBound::InpPs => d,
+            MethodBound::InpHt => d + 1,
+            MethodBound::MargRr => d + (1 << k),
+            MethodBound::MargPs => d + k,
+            MethodBound::MargHt => d + k + 1,
+        }
+    }
+
+    /// Leading error behavior (Table 2 / Theorems 4.3–4.5 and Lemma 4.6),
+    /// including the common `1/(ε√N)` factor but suppressing logarithmic
+    /// factors and constants. Useful for *relative* comparisons between
+    /// methods, exactly as the paper uses the table.
+    #[must_use]
+    pub fn error_bound(self, d: u32, k: u32, eps: f64, n: usize) -> f64 {
+        check_epsilon(eps);
+        assert!(k <= d && n > 0);
+        let common = 1.0 / (eps * (n as f64).sqrt());
+        let two_k = (1u64 << k) as f64;
+        let shape = match self {
+            // Thm 4.3: 2^{(d+k)/2}.
+            MethodBound::InpRr => (2.0f64).powf((d + k) as f64 / 2.0),
+            // Thm 4.4: 2^{d + k/2}.
+            MethodBound::InpPs => (2.0f64).powf(d as f64 + k as f64 / 2.0),
+            // Thm 4.5: 2^{k/2} √T.
+            MethodBound::InpHt => {
+                two_k.sqrt() * (coefficient_count(d, k) as f64).sqrt()
+            }
+            // §4.3: 2^k √C(d,k).
+            MethodBound::MargRr => {
+                two_k * (ldp_binomial(u64::from(d), u64::from(k)) as f64).sqrt()
+            }
+            // Lemma 4.6: 2^{3k/2} √C(d,k).
+            MethodBound::MargPs | MethodBound::MargHt => {
+                two_k.powf(1.5) * (ldp_binomial(u64::from(d), u64::from(k)) as f64).sqrt()
+            }
+        };
+        shape * common
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_bound_monotonicity() {
+        // Parameters chosen so the bound is informative (< 1) — below
+        // that it clamps and comparisons are meaningless.
+        let b1 = master_tail_bound(200_000, 0.1, 0.7, 0.05);
+        assert!(b1 < 1.0, "bound must be informative here, got {b1}");
+        let b2 = master_tail_bound(800_000, 0.1, 0.7, 0.05);
+        assert!(b2 < b1, "more users → smaller tail");
+        let b3 = master_tail_bound(200_000, 0.4, 0.7, 0.05);
+        assert!(b3 < b1, "higher sampling probability → smaller tail");
+        let b4 = master_tail_bound(200_000, 0.1, 0.9, 0.05);
+        assert!(b4 < b1, "less noise → smaller tail");
+    }
+
+    #[test]
+    fn error_at_confidence_inverts_bound() {
+        let (n, ps, pr, delta) = (100_000, 0.05, 0.75, 0.05);
+        let c = master_error_at_confidence(n, ps, pr, delta);
+        assert!(master_tail_bound(n, ps, pr, c) <= delta * 1.001);
+        assert!(master_tail_bound(n, ps, pr, c * 0.9) > delta);
+    }
+
+    #[test]
+    fn error_scales_inverse_sqrt_n() {
+        let c1 = master_error_at_confidence(10_000, 0.1, 0.75, 0.05);
+        let c2 = master_error_at_confidence(40_000, 0.1, 0.75, 0.05);
+        // Quadrupling N should roughly halve the error (Bernstein's linear
+        // term makes it slightly better than exactly half).
+        let ratio = c1 / c2;
+        assert!((1.8..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn coefficient_counts() {
+        assert_eq!(coefficient_count(4, 2), 10);
+        assert_eq!(coefficient_count(8, 2), 36);
+        assert_eq!(coefficient_count(16, 2), 136);
+        assert_eq!(coefficient_count(16, 3), 696);
+    }
+
+    #[test]
+    fn table2_communication() {
+        // d = 8, k = 2.
+        assert_eq!(MethodBound::InpRr.communication_bits(8, 2), 256);
+        assert_eq!(MethodBound::InpPs.communication_bits(8, 2), 8);
+        assert_eq!(MethodBound::InpHt.communication_bits(8, 2), 9);
+        assert_eq!(MethodBound::MargRr.communication_bits(8, 2), 12);
+        assert_eq!(MethodBound::MargPs.communication_bits(8, 2), 10);
+        assert_eq!(MethodBound::MargHt.communication_bits(8, 2), 11);
+    }
+
+    #[test]
+    fn inpht_has_best_asymptotic_error_for_small_k() {
+        // §4.3 "Comparison of all methods": asymptotically InpHT wins.
+        let (eps, n) = (1.1, 1 << 18);
+        for d in [8u32, 16, 24] {
+            for k in [2u32, 3] {
+                let ht = MethodBound::InpHt.error_bound(d, k, eps, n);
+                for m in MethodBound::ALL {
+                    if m != MethodBound::InpHt {
+                        assert!(
+                            ht <= m.error_bound(d, k, eps, n) * 1.0001,
+                            "d={d} k={k} {m:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inpht_cell_variance_shape() {
+        // Variance shrinks with N and eps, grows with T.
+        let v = inpht_cell_variance(8, 2, 1.1, 1 << 18);
+        assert!(v > 0.0 && v < 1e-3, "{v}");
+        assert!(inpht_cell_variance(8, 2, 1.1, 1 << 20) < v);
+        assert!(inpht_cell_variance(8, 2, 2.2, 1 << 18) < v);
+        assert!(inpht_cell_variance(16, 2, 1.1, 1 << 18) > v);
+    }
+
+    #[test]
+    fn input_methods_blow_up_with_d() {
+        let (eps, n, k) = (1.1, 1 << 18, 2);
+        let r8 = MethodBound::InpPs.error_bound(8, k, eps, n);
+        let r16 = MethodBound::InpPs.error_bound(16, k, eps, n);
+        assert!((r16 / r8 - 256.0).abs() < 1.0, "2^d scaling");
+    }
+}

@@ -1,0 +1,155 @@
+//! Vose's alias method for `O(1)` sampling from a fixed discrete
+//! distribution — used by the synthetic data generators to draw millions
+//! of user records from a full-domain distribution.
+
+use rand::Rng;
+
+/// A preprocessed discrete distribution supporting `O(1)` sampling.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability for the "home" column.
+    prob: Vec<f64>,
+    /// Alternative outcome when the home column is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty distribution");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table supports up to 2^32 outcomes"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0) && total > 0.0,
+            "weights must be non-negative, finite, and not all zero"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled weights: mean 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (numerically ≈ 1) accepts its own column.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` iff the table has no outcomes (cannot occur post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let weights = [0.1, 0.4, 0.2, 0.05, 0.25];
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 500_000usize;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let f = counts[i] as f64 / trials as f64;
+            assert!((f - w).abs() < 0.005, "outcome {i}: {f} vs {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_range(ws in proptest::collection::vec(0.0f64..10.0, 1..50), seed in any::<u64>()) {
+            prop_assume!(ws.iter().sum::<f64>() > 0.0);
+            let t = AliasTable::new(&ws);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let s = t.sample(&mut rng);
+                prop_assert!(s < ws.len());
+                prop_assert!(ws[s] > 0.0, "sampled a zero-weight outcome");
+            }
+        }
+    }
+}

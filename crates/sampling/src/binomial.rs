@@ -1,0 +1,317 @@
+//! Exact binomial sampling.
+//!
+//! Two regimes:
+//! * `n·min(p,1−p) < 10` — BINV inversion (walk the CDF using the pmf
+//!   recurrence), expected `O(np)` time;
+//! * otherwise — a rejection sampler from the BTPE four-region envelope
+//!   (triangle, parallelogram, two exponential tails) of
+//!   Kachitvichyanukul & Schmeiser (1988), with the acceptance test done
+//!   by the *exact* pmf ratio `f(y)/f(m)` (an `O(|y−m|)` product; `|y−m|`
+//!   is `O(√(npq))` with high probability, which is plenty fast for the
+//!   simulation workloads here and avoids the delicate Stirling squeeze).
+
+use rand::Rng;
+
+/// Draw from `Binomial(n, p)`.
+///
+/// Panics if `p` is not a probability.
+#[must_use]
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with q = min(p, 1−p) and flip at the end.
+    let flipped = p > 0.5;
+    let pp = if flipped { 1.0 - p } else { p };
+    let sample = if (n as f64) * pp < 10.0 {
+        binv(rng, n, pp)
+    } else {
+        btpe(rng, n, pp)
+    };
+    if flipped {
+        n - sample
+    } else {
+        sample
+    }
+}
+
+/// Inversion by CDF walk; requires small mean `n·p`.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // f(0) = q^n; may underflow for huge n with tiny p — use log form then.
+    let log_f0 = (n as f64) * q.ln();
+    if log_f0 < -700.0 {
+        // Mean is ≥ ~10 only in the BTPE branch, so this occurs for
+        // extreme n with small np only in theory; fall back to a normal
+        // approximation clamped to the support (documented inexactness in
+        // an unreachable-by-construction regime).
+        let mean = n as f64 * p;
+        let sd = (mean * q).sqrt();
+        let z = normal_sample(rng);
+        return (mean + sd * z).round().clamp(0.0, n as f64) as u64;
+    }
+    loop {
+        let mut f = log_f0.exp();
+        let mut u: f64 = rng.gen();
+        // Walk k upward; restart in the (astronomically rare) event of
+        // accumulated rounding leaving residual mass.
+        for k in 0..=n {
+            if u <= f {
+                return k;
+            }
+            u -= f;
+            f *= s * ((n - k) as f64) / ((k + 1) as f64);
+        }
+    }
+}
+
+/// One standard normal via Box–Muller (used only in the theoretical
+/// fallback branch of [`binv`]).
+fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// BTPE-style envelope rejection; requires `p ≤ 0.5` and `n·p ≥ 10`.
+fn btpe<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let npq = nf * p * q;
+    let f_m = nf * p + p; // (n+1)p
+    let m = f_m.floor(); // mode
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    let xm = m + 0.5;
+    let xl = xm - p1;
+    let xr = xm + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let a_l = (f_m - xl) / (f_m - xl * p);
+    let lambda_l = a_l * (1.0 + 0.5 * a_l);
+    let a_r = (xr - f_m) / (xr * q);
+    let lambda_r = a_r * (1.0 + 0.5 * a_r);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    loop {
+        let u: f64 = rng.gen::<f64>() * p4;
+        let v: f64 = rng.gen();
+        let y: f64;
+        if u <= p1 {
+            // Triangular central region: accept immediately.
+            y = (xm - p1 * v + u).floor();
+            return y as u64;
+        } else if u <= p2 {
+            // Parallelogram.
+            let x = xl + (u - p1) / c;
+            let v2 = v * c + 1.0 - (x - xm).abs() / p1;
+            if v2 > 1.0 {
+                continue;
+            }
+            y = x.floor();
+            if accept(n, p, m, y, v2) {
+                return y as u64;
+            }
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (xl + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            let v2 = v * (u - p2) * lambda_l;
+            if accept(n, p, m, y, v2) {
+                return y as u64;
+            }
+        } else {
+            // Right exponential tail.
+            y = (xr - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            let v2 = v * (u - p3) * lambda_r;
+            if accept(n, p, m, y, v2) {
+                return y as u64;
+            }
+        }
+    }
+}
+
+/// Exact acceptance test: `v ≤ f(y)/f(m)` with the pmf ratio computed by
+/// the recurrence `f(k+1)/f(k) = (a/(k+1) − s)` where `s = p/q`,
+/// `a = (n+1)s`.
+fn accept(n: u64, p: f64, m: f64, y: f64, v: f64) -> bool {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = ((n + 1) as f64) * s;
+    let mut f = 1.0f64;
+    let (mi, yi) = (m as i64, y as i64);
+    if mi < yi {
+        for i in (mi + 1)..=yi {
+            f *= a / (i as f64) - s;
+        }
+    } else if mi > yi {
+        for i in (yi + 1)..=mi {
+            f /= a / (i as f64) - s;
+        }
+    }
+    v <= f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn moments(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial(&mut rng, 0, 0.3), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn support_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let x = binomial(&mut rng, 20, 0.37);
+            assert!(x <= 20);
+        }
+    }
+
+    #[test]
+    fn binv_moments() {
+        // Small-mean regime exercises inversion.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, p) = (50u64, 0.05);
+        let samples: Vec<u64> = (0..200_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (mean, var) = moments(&samples);
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() < 0.05, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < 0.15, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn btpe_moments() {
+        // Large-mean regime exercises the rejection sampler.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, p) = (10_000u64, 0.3);
+        let samples: Vec<u64> = (0..100_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (mean, var) = moments(&samples);
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() / em < 2e-3, "mean {mean} vs {em}");
+        assert!((var - ev).abs() / ev < 3e-2, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn flipped_p_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (n, p) = (5_000u64, 0.85);
+        let samples: Vec<u64> = (0..100_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (mean, var) = moments(&samples);
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() / em < 2e-3);
+        assert!((var - ev).abs() / ev < 3e-2);
+    }
+
+    /// Chi-square goodness of fit against the exact pmf, small n.
+    #[test]
+    fn chi_square_gof_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (n, p) = (8u64, 0.4);
+        let trials = 200_000usize;
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..trials {
+            counts[binomial(&mut rng, n, p) as usize] += 1;
+        }
+        // Exact pmf.
+        let mut pmf = vec![0.0f64; (n + 1) as usize];
+        for k in 0..=n {
+            let mut logp = 0.0;
+            for i in 0..k {
+                logp += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+            }
+            logp += k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+            pmf[k as usize] = logp.exp();
+        }
+        let chi2: f64 = (0..=n as usize)
+            .map(|k| {
+                let e = pmf[k] * trials as f64;
+                let o = counts[k] as f64;
+                (o - e) * (o - e) / e
+            })
+            .sum();
+        // df = 8; P(chi2 > 26.12) ≈ 0.001.
+        assert!(chi2 < 26.12, "chi2 = {chi2}");
+    }
+
+    /// Chi-square GOF over a coarse binning for the BTPE regime.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn chi_square_gof_btpe_binned() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (n, p) = (400u64, 0.25);
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // Bin edges at mean + {-inf, -1.5sd, -0.5sd, 0.5sd, 1.5sd, inf}.
+        let edges = [
+            f64::NEG_INFINITY,
+            mean - 1.5 * sd,
+            mean - 0.5 * sd,
+            mean + 0.5 * sd,
+            mean + 1.5 * sd,
+            f64::INFINITY,
+        ];
+        let trials = 200_000usize;
+        let mut obs = [0u64; 5];
+        for _ in 0..trials {
+            let x = binomial(&mut rng, n, p) as f64;
+            let bin = edges.windows(2).position(|w| x >= w[0] && x < w[1]).unwrap();
+            obs[bin] += 1;
+        }
+        // Expected from exact pmf.
+        let mut logpmf = vec![0.0f64; (n + 1) as usize];
+        let mut lognum = 0.0;
+        for k in 0..=n {
+            if k > 0 {
+                lognum += ((n - k + 1) as f64).ln() - (k as f64).ln();
+            }
+            logpmf[k as usize] =
+                lognum + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+        }
+        let mut expect = [0.0f64; 5];
+        for k in 0..=n as usize {
+            let x = k as f64;
+            let bin = edges.windows(2).position(|w| x >= w[0] && x < w[1]).unwrap();
+            expect[bin] += logpmf[k].exp();
+        }
+        let chi2: f64 = (0..5)
+            .map(|b| {
+                let e = expect[b] * trials as f64;
+                let o = obs[b] as f64;
+                (o - e) * (o - e) / e
+            })
+            .sum();
+        // df = 4; P(chi2 > 18.47) ≈ 0.001.
+        assert!(chi2 < 18.47, "chi2 = {chi2}");
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Sampling substrate for the LDP simulation.
+//!
+//! The experiment harness simulates populations of up to 2^19 users; some
+//! mechanisms (notably `InpRR`, which perturbs all `2^d` cells per user)
+//! are simulated *exactly in distribution* at the aggregate level, which
+//! requires drawing per-cell report counts from a Binomial — so this crate
+//! provides an exact [`binomial`] sampler (inversion for small means, a
+//! BTPE-style four-region rejection sampler for large means). It also
+//! provides the [`AliasTable`] used to draw users from synthetic
+//! distributions in `O(1)`, and the pairwise/k-wise independent
+//! [`hash`] families required by the OLH and sketch-based frequency
+//! oracles of Appendix B.2.
+
+mod alias;
+mod binomial;
+pub mod hash;
+
+pub use alias::AliasTable;
+pub use binomial::binomial;

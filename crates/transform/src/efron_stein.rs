@@ -1,0 +1,380 @@
+//! Efron–Stein orthogonal decomposition for categorical domains.
+//!
+//! §6.3 of the paper conjectures that a scheme based on the Efron–Stein
+//! decomposition — the generalization of the Hadamard transform to
+//! non-binary contingency tables — "will be among the best solutions" for
+//! low-order marginals over categorical data. This module implements the
+//! decomposition and the property that makes the conjecture work: *the
+//! marginal over an attribute set `B` is a linear function of only the
+//! components indexed by subsets `S ⊆ B`* (the categorical analog of
+//! Lemma 3.7).
+//!
+//! For a table `p` over the product domain `∏_i [r_i]`, define the
+//! conditional-expectation operator under the uniform measure,
+//! `p^{⊆S}(x_S) = E_{x_∉S}[p(x)]`, and the Efron–Stein components
+//! `p^{=S} = Σ_{T ⊆ S} (−1)^{|S∖T|} p^{⊆T}` (Möbius inversion). Then
+//! `p = Σ_S p^{=S}` with the components mutually orthogonal, and the
+//! marginal over `B` is `m_B(x_B) = (∏_{i∉B} r_i) · Σ_{S⊆B} p^{=S}(x_S)`.
+
+use ldp_bits::{submasks, Mask};
+use std::collections::HashMap;
+
+/// A product domain of `d` categorical attributes with given arities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CategoricalDomain {
+    arities: Vec<usize>,
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl CategoricalDomain {
+    /// Build a domain from per-attribute arities (each ≥ 1). Panics if the
+    /// total table size overflows or `d > 63`.
+    #[must_use]
+    pub fn new(arities: &[usize]) -> Self {
+        assert!(arities.len() <= 63, "at most 63 attributes");
+        assert!(arities.iter().all(|&r| r >= 1), "arities must be ≥ 1");
+        let mut strides = Vec::with_capacity(arities.len());
+        let mut len = 1usize;
+        for &r in arities {
+            strides.push(len);
+            len = len.checked_mul(r).expect("domain too large");
+        }
+        CategoricalDomain {
+            arities: arities.to_vec(),
+            strides,
+            len,
+        }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn d(&self) -> u32 {
+        self.arities.len() as u32
+    }
+
+    /// Total number of cells `∏ r_i`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the domain has a single cell.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    /// Arity of one attribute.
+    #[must_use]
+    pub fn arity(&self, attr: u32) -> usize {
+        self.arities[attr as usize]
+    }
+
+    /// All arities.
+    #[must_use]
+    pub fn arities(&self) -> &[usize] {
+        &self.arities
+    }
+
+    /// Mixed-radix index of a full assignment (`values[i] < r_i`).
+    #[must_use]
+    pub fn index(&self, values: &[usize]) -> usize {
+        assert_eq!(values.len(), self.arities.len());
+        let mut idx = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v < self.arities[i], "value out of range for attribute {i}");
+            idx += v * self.strides[i];
+        }
+        idx
+    }
+
+    /// Inverse of [`CategoricalDomain::index`].
+    #[must_use]
+    pub fn unindex(&self, mut idx: usize) -> Vec<usize> {
+        assert!(idx < self.len);
+        let mut out = vec![0usize; self.arities.len()];
+        for (i, &r) in self.arities.iter().enumerate() {
+            out[i] = idx % r;
+            idx /= r;
+        }
+        out
+    }
+
+    /// The sub-domain over the attributes selected by `subset`.
+    #[must_use]
+    pub fn subdomain(&self, subset: Mask) -> CategoricalDomain {
+        let sub: Vec<usize> = subset
+            .attrs()
+            .map(|a| self.arities[a as usize])
+            .collect();
+        CategoricalDomain::new(&sub)
+    }
+
+    /// Project a full-domain index onto the sub-domain over `subset`.
+    #[must_use]
+    pub fn project(&self, idx: usize, subset: Mask) -> usize {
+        let values = self.unindex(idx);
+        let mut out = 0usize;
+        let mut stride = 1usize;
+        for a in subset.attrs() {
+            out += values[a as usize] * stride;
+            stride *= self.arities[a as usize];
+        }
+        out
+    }
+
+    /// `∏_{i ∉ subset} r_i` — the number of full cells collapsing onto each
+    /// sub-domain cell.
+    #[must_use]
+    pub fn complement_size(&self, subset: Mask) -> usize {
+        self.len / self.subdomain(subset).len()
+    }
+}
+
+/// Marginal of a categorical table over the attributes in `subset`,
+/// indexed by the sub-domain of [`CategoricalDomain::subdomain`].
+#[must_use]
+pub fn marginalize_categorical(p: &[f64], domain: &CategoricalDomain, subset: Mask) -> Vec<f64> {
+    assert_eq!(p.len(), domain.len());
+    let sub = domain.subdomain(subset);
+    let mut out = vec![0.0; sub.len()];
+    for (idx, &v) in p.iter().enumerate() {
+        out[domain.project(idx, subset)] += v;
+    }
+    out
+}
+
+/// The full Efron–Stein decomposition of a categorical table.
+#[derive(Clone, Debug)]
+pub struct EfronStein {
+    domain: CategoricalDomain,
+    /// `components[S]` is `p^{=S}` stored over the sub-domain of `S`.
+    components: HashMap<Mask, Vec<f64>>,
+}
+
+impl EfronStein {
+    /// Decompose `p` into its `2^d` Efron–Stein components. Exponential in
+    /// `d`; intended for the moderate `d` of marginal workloads.
+    #[must_use]
+    pub fn decompose(p: &[f64], domain: &CategoricalDomain) -> Self {
+        assert_eq!(p.len(), domain.len());
+        let d = domain.d();
+        // Conditional expectations p^{⊆S} for every S, from marginals:
+        // p^{⊆S}(x_S) = m_S(x_S) / ∏_{i∉S} r_i.
+        let mut cond: HashMap<Mask, Vec<f64>> = HashMap::new();
+        for s_bits in submasks(Mask::full(d)) {
+            let mut m = marginalize_categorical(p, domain, s_bits);
+            let scale = 1.0 / domain.complement_size(s_bits) as f64;
+            for v in m.iter_mut() {
+                *v *= scale;
+            }
+            cond.insert(s_bits, m);
+        }
+        // Möbius inversion: p^{=S} = Σ_{T⊆S} (−1)^{|S∖T|} p^{⊆T}, with the
+        // T-table lifted onto the S sub-domain.
+        let mut components = HashMap::new();
+        for s in submasks(Mask::full(d)) {
+            let sub_s = domain.subdomain(s);
+            let mut comp = vec![0.0; sub_s.len()];
+            for t in submasks(s) {
+                let sign = if (s.weight() - t.weight()) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                let table_t = &cond[&t];
+                // Lift: index of x_T within the S sub-domain coordinates.
+                let t_in_s = Mask::new(ldp_bits::compress(t.bits(), s.bits()));
+                for (i, c) in comp.iter_mut().enumerate() {
+                    *c += sign * table_t[sub_s.project(i, t_in_s)];
+                }
+            }
+            components.insert(s, comp);
+        }
+        EfronStein {
+            domain: domain.clone(),
+            components,
+        }
+    }
+
+    /// The component `p^{=S}`, indexed over the `S` sub-domain.
+    #[must_use]
+    pub fn component(&self, s: Mask) -> &[f64] {
+        &self.components[&s]
+    }
+
+    /// The domain this decomposition was taken over.
+    #[must_use]
+    pub fn domain(&self) -> &CategoricalDomain {
+        &self.domain
+    }
+
+    /// Reconstruct the full table as `Σ_S p^{=S}` (sanity/inversion).
+    #[must_use]
+    pub fn reconstruct_full(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.domain.len()];
+        for (s, comp) in &self.components {
+            for (idx, o) in out.iter_mut().enumerate() {
+                *o += comp[self.domain.project(idx, *s)];
+            }
+        }
+        out
+    }
+
+    /// Reconstruct the marginal over `beta` using **only** the components
+    /// `{p^{=S} : S ⊆ beta}` — the categorical analog of Lemma 3.7:
+    ///
+    /// `m_β(x_β) = (∏_{i∉β} r_i) · Σ_{S⊆β} p^{=S}(x_S)`.
+    #[must_use]
+    pub fn marginal(&self, beta: Mask) -> Vec<f64> {
+        let sub = self.domain.subdomain(beta);
+        let outside = self.domain.complement_size(beta) as f64;
+        let mut out = vec![0.0; sub.len()];
+        for s in submasks(beta) {
+            let comp = &self.components[&s];
+            let s_in_beta = Mask::new(ldp_bits::compress(s.bits(), beta.bits()));
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += comp[sub.project(i, s_in_beta)];
+            }
+        }
+        for o in out.iter_mut() {
+            *o *= outside;
+        }
+        out
+    }
+
+    /// Inner product `Σ_x p^{=S}(x_S) q^{=T}(x_T)` over the full domain —
+    /// zero for `S ≠ T` (orthogonality), used by tests.
+    #[must_use]
+    pub fn inner_product(&self, s: Mask, t: Mask) -> f64 {
+        let cs = &self.components[&s];
+        let ct = &self.components[&t];
+        (0..self.domain.len())
+            .map(|idx| cs[self.domain.project(idx, s)] * ct[self.domain.project(idx, t)])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_dist(domain: &CategoricalDomain, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..domain.len()).map(|_| rng.gen::<f64>() + 0.01).collect();
+        let total: f64 = raw.iter().sum();
+        raw.iter().map(|v| v / total).collect()
+    }
+
+    #[test]
+    fn domain_indexing_roundtrip() {
+        let dom = CategoricalDomain::new(&[3, 2, 4]);
+        assert_eq!(dom.len(), 24);
+        for idx in 0..dom.len() {
+            assert_eq!(dom.index(&dom.unindex(idx)), idx);
+        }
+        assert_eq!(dom.index(&[2, 1, 3]), 2 + 3 + 3 * 6);
+    }
+
+    #[test]
+    fn projection_consistency() {
+        let dom = CategoricalDomain::new(&[3, 2, 4]);
+        let subset = Mask::from_attrs(&[0, 2]);
+        let sub = dom.subdomain(subset);
+        assert_eq!(sub.arities(), &[3, 4]);
+        for idx in 0..dom.len() {
+            let vals = dom.unindex(idx);
+            let p = dom.project(idx, subset);
+            let sub_vals = sub.unindex(p);
+            assert_eq!(sub_vals, vec![vals[0], vals[2]]);
+        }
+    }
+
+    #[test]
+    fn categorical_marginal_mass() {
+        let dom = CategoricalDomain::new(&[3, 2, 2]);
+        let p = random_dist(&dom, 1);
+        for bits in 0u64..8 {
+            let m = marginalize_categorical(&p, &dom, Mask::new(bits));
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decomposition_sums_to_table() {
+        let dom = CategoricalDomain::new(&[3, 2, 4]);
+        let p = random_dist(&dom, 2);
+        let es = EfronStein::decompose(&p, &dom);
+        let rec = es.reconstruct_full();
+        for (a, b) in p.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn components_are_orthogonal() {
+        let dom = CategoricalDomain::new(&[3, 2, 2]);
+        let p = random_dist(&dom, 3);
+        let es = EfronStein::decompose(&p, &dom);
+        let d = dom.d();
+        for s in submasks(Mask::full(d)) {
+            for t in submasks(Mask::full(d)) {
+                if s != t {
+                    assert!(
+                        es.inner_product(s, t).abs() < 1e-9,
+                        "components {s} and {t} not orthogonal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_need_only_subset_components() {
+        // The categorical Lemma 3.7: marginal over β from components S ⊆ β.
+        let dom = CategoricalDomain::new(&[3, 2, 4, 2]);
+        let p = random_dist(&dom, 4);
+        let es = EfronStein::decompose(&p, &dom);
+        for bits in 0u64..16 {
+            let beta = Mask::new(bits);
+            let direct = marginalize_categorical(&p, &dom, beta);
+            let via = es.marginal(beta);
+            for (a, b) in direct.iter().zip(&via) {
+                assert!((a - b).abs() < 1e-9, "beta={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_domain_matches_hadamard_span() {
+        // On an all-binary domain the weight-≤k ES components carry the
+        // same information as the weight-≤k Hadamard coefficients: both
+        // reconstruct every k-way marginal exactly.
+        let dom = CategoricalDomain::new(&[2, 2, 2, 2]);
+        let p = random_dist(&dom, 5);
+        let es = EfronStein::decompose(&p, &dom);
+        let coeffs = crate::scaled_coefficients(&p);
+        for bits in 0u64..16 {
+            let beta = Mask::new(bits);
+            let via_es = es.marginal(beta);
+            let via_ht =
+                crate::marginal_from_coefficients(beta, |a| coeffs[a.bits() as usize]);
+            for (a, b) in via_es.iter().zip(&via_ht) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nonuniform_component_of_uniform_is_zero() {
+        let dom = CategoricalDomain::new(&[3, 3]);
+        let p = vec![1.0 / 9.0; 9];
+        let es = EfronStein::decompose(&p, &dom);
+        for bits in 1u64..4 {
+            let comp = es.component(Mask::new(bits));
+            assert!(comp.iter().all(|v| v.abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fast Walsh–Hadamard transform.
+
+/// In-place *unnormalized* Walsh–Hadamard transform.
+///
+/// Computes `y[α] = Σ_η (−1)^{⟨α,η⟩} x[η]` in `O(n log n)`. The transform
+/// is an involution up to scale: applying it twice multiplies by `n`.
+/// Panics unless `data.len()` is a power of two.
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(2 * h) {
+            let (lo, hi) = chunk.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// In-place *orthonormal* Walsh–Hadamard transform (Definition 3.5):
+/// multiplies by the symmetric orthogonal matrix `φ` with
+/// `φ[i][j] = 2^{−d/2} (−1)^{⟨i,j⟩}`. Self-inverse.
+pub fn fwht_normalized(data: &mut [f64]) {
+    fwht(data);
+    let scale = 1.0 / (data.len() as f64).sqrt();
+    for v in data.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// Inverse of the unnormalized [`fwht`]: applies the transform and divides
+/// by `n`.
+pub fn fwht_inverse(data: &mut [f64]) {
+    fwht(data);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// The scaled Hadamard coefficients of a distribution:
+/// `c_α = Σ_η (−1)^{⟨α,η⟩} t[η]`.
+///
+/// For a probability distribution `t`, `c_0 = 1` and `c_α ∈ [−1, 1]`; the
+/// paper's orthonormal coefficients are `θ_α = 2^{−d/2} c_α`.
+#[must_use]
+pub fn scaled_coefficients(dist: &[f64]) -> Vec<f64> {
+    let mut out = dist.to_vec();
+    fwht(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_bits::pm_one;
+    use proptest::prelude::*;
+
+    fn naive_wht(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|e| pm_one(a as u64, e as u64) * x[e])
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        for d in 0..=6u32 {
+            let n = 1usize << d;
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.3).collect();
+            let mut fast = x.clone();
+            fwht(&mut fast);
+            let slow = naive_wht(&x);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_mass_gives_signs() {
+        // One-hot input at position j: c_α = (−1)^{⟨α,j⟩}, exactly the
+        // value a user computes locally in InpHT.
+        let d = 4u32;
+        let n = 1usize << d;
+        for j in 0..n {
+            let mut x = vec![0.0; n];
+            x[j] = 1.0;
+            fwht(&mut x);
+            for (a, v) in x.iter().enumerate() {
+                assert_eq!(*v, pm_one(a as u64, j as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_is_involution() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut y = x.clone();
+        fwht_normalized(&mut y);
+        fwht_normalized(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let x: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut y = x.clone();
+        fwht(&mut y);
+        fwht_inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficient_zero_is_total_mass() {
+        let dist = vec![0.1, 0.2, 0.3, 0.4];
+        let c = scaled_coefficients(&dist);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![0.0; 3];
+        fwht(&mut x);
+    }
+
+    proptest! {
+        #[test]
+        fn parseval(xs in proptest::collection::vec(-1.0f64..1.0, 16)) {
+            // Orthonormal transform preserves the l2 norm.
+            let mut y = xs.clone();
+            fwht_normalized(&mut y);
+            let n1: f64 = xs.iter().map(|v| v * v).sum();
+            let n2: f64 = y.iter().map(|v| v * v).sum();
+            prop_assert!((n1 - n2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn linearity(
+            xs in proptest::collection::vec(-1.0f64..1.0, 8),
+            ys in proptest::collection::vec(-1.0f64..1.0, 8),
+        ) {
+            let mut sum: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
+            fwht(&mut sum);
+            let mut tx = xs.clone();
+            let mut ty = ys.clone();
+            fwht(&mut tx);
+            fwht(&mut ty);
+            for i in 0..8 {
+                prop_assert!((sum[i] - tx[i] - ty[i]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn coefficients_bounded_for_distributions(
+            raw in proptest::collection::vec(0.0f64..1.0, 16)
+        ) {
+            let total: f64 = raw.iter().sum::<f64>().max(1e-9);
+            let dist: Vec<f64> = raw.iter().map(|v| v / total).collect();
+            let c = scaled_coefficients(&dist);
+            prop_assert!((c[0] - 1.0).abs() < 1e-9);
+            for v in &c {
+                prop_assert!(v.abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

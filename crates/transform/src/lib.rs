@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Orthogonal transforms and the marginal operator for contingency tables.
+//!
+//! A population of users, each holding a record `j ∈ {0,1}^d`, induces the
+//! empirical distribution `t ∈ R^{2^d}` (the full contingency table,
+//! normalized to sum to 1). This crate provides:
+//!
+//! * [`fwht`] — the in-place fast Walsh–Hadamard transform (Definition 3.5);
+//! * [`scaled_coefficients`] — the *scaled* Hadamard coefficients
+//!   `c_α = E[(−1)^{⟨α, j⟩}] = Σ_η (−1)^{⟨α,η⟩} t[η] ∈ [−1, 1]`, related to
+//!   the paper's orthonormal coefficients by `θ_α = 2^{−d/2} c_α`. Scaled
+//!   coefficients are what a user can report with one randomized-response
+//!   bit, so every estimator in `ldp-core` works with them;
+//! * [`marginalize`] — the marginal operator `C_β` (Definition 3.2) applied
+//!   to a full distribution;
+//! * [`marginal_from_coefficients`] — Lemma 3.7 (Barak et al.): any k-way
+//!   marginal from the `2^k` scaled coefficients `{c_α : α ⪯ β}`;
+//! * [`efron_stein`] — the Efron–Stein orthogonal decomposition for
+//!   categorical (non-binary) domains, the extension the paper conjectures
+//!   in §6.3.
+
+pub mod efron_stein;
+mod fwht;
+mod marginal;
+
+pub use fwht::{fwht, fwht_inverse, fwht_normalized, scaled_coefficients};
+pub use marginal::{
+    marginal_from_coefficients, marginal_l1_distance, marginalize, marginalize_table,
+    total_variation_distance,
+};

@@ -1,0 +1,203 @@
+//! The marginal operator `C_β` and marginal reconstruction from Hadamard
+//! coefficients (Lemma 3.7).
+
+use crate::fwht;
+use ldp_bits::{compress, submasks, Mask};
+
+/// Apply the marginal operator `C_β` (Definition 3.2) to a full
+/// distribution over `{0,1}^d`.
+///
+/// Returns a table of length `2^|β|` indexed by the *local* cell index
+/// `compress(γ, β)`; entry `g` holds `Σ_{η : η∧β = expand(g,β)} t[η]`
+/// (equation (3) of the paper).
+#[must_use]
+pub fn marginalize(full: &[f64], d: u32, beta: Mask) -> Vec<f64> {
+    assert_eq!(full.len(), 1usize << d, "distribution length must be 2^d");
+    assert!(
+        beta.is_subset_of(Mask::full(d)),
+        "marginal mask outside domain"
+    );
+    let mut out = vec![0.0; beta.table_len()];
+    for (eta, &v) in full.iter().enumerate() {
+        out[compress(eta as u64, beta.bits()) as usize] += v;
+    }
+    out
+}
+
+/// Aggregate a marginal table over `beta` down to a sub-marginal over
+/// `sub ⪯ beta`. Both tables use local indexing relative to their own mask.
+#[must_use]
+pub fn marginalize_table(table: &[f64], beta: Mask, sub: Mask) -> Vec<f64> {
+    assert!(sub.is_subset_of(beta), "sub must satisfy sub ⪯ beta");
+    assert_eq!(table.len(), beta.table_len());
+    // Positions of `sub`'s attributes within `beta`'s local coordinates.
+    let local_sub = compress(sub.bits(), beta.bits());
+    let mut out = vec![0.0; sub.table_len()];
+    for (g, &v) in table.iter().enumerate() {
+        out[compress(g as u64, local_sub) as usize] += v;
+    }
+    out
+}
+
+/// Reconstruct the marginal `C_β` from scaled Hadamard coefficients
+/// (Lemma 3.7, rewritten for scaled coefficients):
+///
+/// `C_β[γ] = 2^{−k} Σ_{α ⪯ β} c_α (−1)^{⟨α, γ⟩}`.
+///
+/// `coeff(α)` must return (an estimate of) `c_α = Σ_η (−1)^{⟨α,η⟩} t[η]`
+/// for every `α ⪯ β` (including `c_0`, which is exactly 1 for a true
+/// distribution). Returns a locally-indexed table of length `2^|β|`.
+#[must_use]
+pub fn marginal_from_coefficients(beta: Mask, mut coeff: impl FnMut(Mask) -> f64) -> Vec<f64> {
+    let k = beta.weight();
+    let len = beta.table_len();
+    // Gather the 2^k relevant coefficients into local coordinates, then a
+    // size-2^k WHT evaluates all cells at once: for α ⪯ β and γ ⪯ β,
+    // ⟨α, γ⟩ = ⟨compress(α,β), compress(γ,β)⟩.
+    let mut local = vec![0.0; len];
+    for alpha in submasks(beta) {
+        local[compress(alpha.bits(), beta.bits()) as usize] = coeff(alpha);
+    }
+    fwht(&mut local);
+    let scale = 1.0 / (1u64 << k) as f64;
+    for v in local.iter_mut() {
+        *v *= scale;
+    }
+    local
+}
+
+/// `‖a − b‖₁` between two tables of equal length.
+#[must_use]
+pub fn marginal_l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Total variation distance `½‖a − b‖₁` (Definition 3.4).
+#[must_use]
+pub fn total_variation_distance(a: &[f64], b: &[f64]) -> f64 {
+    0.5 * marginal_l1_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaled_coefficients;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// The worked Example 3.1 from the paper: d = 4, β = 0101.
+    #[test]
+    fn example_3_1() {
+        let d = 4u32;
+        let t: Vec<f64> = (0..16).map(|i| (i + 1) as f64).collect();
+        let beta = Mask::new(0b0101);
+        let m = marginalize(&t, d, beta);
+        // C[0000] = t[0000]+t[0010]+t[1000]+t[1010]
+        assert_eq!(m[0b00], t[0b0000] + t[0b0010] + t[0b1000] + t[0b1010]);
+        // C[0001] = t[0001]+t[0011]+t[1001]+t[1011]  (local index 01)
+        assert_eq!(m[0b01], t[0b0001] + t[0b0011] + t[0b1001] + t[0b1011]);
+        // C[0100] -> local 10
+        assert_eq!(m[0b10], t[0b0100] + t[0b0110] + t[0b1100] + t[0b1110]);
+        // C[0101] -> local 11
+        assert_eq!(m[0b11], t[0b0101] + t[0b0111] + t[0b1101] + t[0b1111]);
+        // Every input index contributes exactly once.
+        let total: f64 = t.iter().sum();
+        assert!((m.iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_of_full_mask_is_identity() {
+        let t = vec![0.1, 0.2, 0.3, 0.4];
+        let m = marginalize(&t, 2, Mask::full(2));
+        assert_eq!(m, t);
+    }
+
+    #[test]
+    fn marginal_of_empty_mask_is_total() {
+        let t = vec![0.1, 0.2, 0.3, 0.4];
+        let m = marginalize(&t, 2, Mask::EMPTY);
+        assert_eq!(m.len(), 1);
+        assert!((m[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_aggregation_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = 6u32;
+        let n = 1usize << d;
+        let raw: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let total: f64 = raw.iter().sum();
+        let t: Vec<f64> = raw.iter().map(|v| v / total).collect();
+
+        let beta = Mask::new(0b101101);
+        let big = marginalize(&t, d, beta);
+        for sub_bits in [0b000001u64, 0b001100, 0b101000, 0b101101, 0] {
+            let sub = Mask::new(sub_bits);
+            let via_table = marginalize_table(&big, beta, sub);
+            let direct = marginalize(&t, d, sub);
+            for (a, b) in via_table.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-12, "sub={sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_7_exact_reconstruction() {
+        // With exact coefficients, marginal_from_coefficients must agree
+        // with the direct marginal operator on every β.
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = 5u32;
+        let n = 1usize << d;
+        let raw: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let total: f64 = raw.iter().sum();
+        let t: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let coeffs = scaled_coefficients(&t);
+
+        for beta_bits in 0u64..(1 << d) {
+            let beta = Mask::new(beta_bits);
+            let direct = marginalize(&t, d, beta);
+            let via = marginal_from_coefficients(beta, |a| coeffs[a.bits() as usize]);
+            for (x, y) in direct.iter().zip(&via) {
+                assert!((x - y).abs() < 1e-10, "beta={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn tvd_basics() {
+        let a = vec![0.5, 0.5];
+        let b = vec![1.0, 0.0];
+        assert!((total_variation_distance(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation_distance(&a, &a), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn marginal_preserves_mass(
+            raw in proptest::collection::vec(0.0f64..1.0, 16),
+            beta_bits in 0u64..16,
+        ) {
+            let total: f64 = raw.iter().sum::<f64>().max(1e-9);
+            let t: Vec<f64> = raw.iter().map(|v| v / total).collect();
+            let m = marginalize(&t, 4, Mask::new(beta_bits));
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn reconstruction_matches_direct_random(
+            raw in proptest::collection::vec(0.01f64..1.0, 8),
+            beta_bits in 0u64..8,
+        ) {
+            let total: f64 = raw.iter().sum();
+            let t: Vec<f64> = raw.iter().map(|v| v / total).collect();
+            let coeffs = scaled_coefficients(&t);
+            let beta = Mask::new(beta_bits);
+            let direct = marginalize(&t, 3, beta);
+            let via = marginal_from_coefficients(beta, |a| coeffs[a.bits() as usize]);
+            for (x, y) in direct.iter().zip(&via) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Categorical attributes via binary encoding (§6.3 / Corollary 6.1): a
+//! survey with non-binary questions, collected with the binary `InpHT`
+//! mechanism over the encoded domain, then decoded back to categorical
+//! marginal tables.
+//!
+//! Run with `cargo run --release --example categorical_survey`.
+
+use marginal_ldp::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // A survey: age-band (4 values), region (5 values), device (3 values).
+    let schema = CategoricalSchema::new(&[4, 5, 3]);
+    println!(
+        "schema: arities [4, 5, 3] -> d2 = {} encoding bits (Corollary 6.1)",
+        schema.d2()
+    );
+
+    // Ground-truth per-attribute distributions (independent for clarity).
+    let dists = vec![
+        vec![0.30, 0.35, 0.25, 0.10],       // age bands
+        vec![0.40, 0.25, 0.15, 0.15, 0.05], // regions
+        vec![0.55, 0.35, 0.10],             // devices
+    ];
+    let mut rng = StdRng::seed_from_u64(64);
+    let data = schema.generate_independent(&dists, 400_000, &mut rng);
+
+    // Collect with binary InpHT over the encoded domain. A 2-way
+    // categorical marginal over (age, device) covers
+    // k2 = 2 + 2 = 4 encoding bits.
+    let attrs = [0u32, 2u32];
+    let k2 = schema.k2(&attrs);
+    println!("target: (age, device) marginal -> k2 = {k2} binary attributes");
+    let est = MechanismKind::InpHt
+        .build(schema.d2(), k2, 1.4)
+        .run(data.rows(), 11);
+
+    // Reconstruct the binary marginal, then fold it back to categories.
+    let beta = schema.binary_mask(&attrs);
+    let private_cat = schema.categorical_marginal(&attrs, &est.marginal(beta));
+    let exact_cat = schema.categorical_marginal(&attrs, &data.true_marginal(beta));
+
+    println!("\n(age, device) joint           exact    private");
+    for dev in 0..3 {
+        for age in 0..4 {
+            let i = age + 4 * dev;
+            println!(
+                "  age={age} device={dev}            {:.4}   {:.4}",
+                exact_cat[i], private_cat[i]
+            );
+        }
+    }
+    let tvd: f64 = exact_cat
+        .iter()
+        .zip(&private_cat)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
+    println!("\ntotal variation distance: {tvd:.4}");
+    assert!(tvd < 0.1, "categorical reconstruction should be accurate");
+}

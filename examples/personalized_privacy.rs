@@ -1,0 +1,54 @@
+//! Extension: per-user privacy budgets (§3.1's "each user may operate
+//! with a different privacy parameter"). A population where most users
+//! demand strict privacy but a minority opts into a looser budget; the
+//! inverse-variance-weighted aggregator exploits the loose reports
+//! instead of throttling everyone to the strictest ε.
+//!
+//! Run with `cargo run --release --example personalized_privacy`.
+
+use marginal_ldp::core::{InpHt, PersonalizedInpHt};
+use marginal_ldp::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let data = TaxiGenerator::default().generate(200_000, &mut rng);
+    let (strict_eps, loose_eps, loose_frac) = (0.3, 2.0, 0.25);
+    println!(
+        "population: N = {}, {}% at eps = {loose_eps}, rest at eps = {strict_eps}",
+        data.n(),
+        (loose_frac * 100.0) as u32
+    );
+
+    // Personalized collection: each user reports at their own budget.
+    let pers = PersonalizedInpHt::new(data.d(), 2);
+    let mut agg = pers.aggregator();
+    for &row in data.rows() {
+        let eps = if rng.gen_bool(loose_frac) {
+            loose_eps
+        } else {
+            strict_eps
+        };
+        agg.absorb(pers.encode(row, eps, &mut rng));
+    }
+    let personalized = agg.finish();
+
+    // Baseline: everyone throttled to the strictest budget.
+    let baseline_mech = InpHt::new(data.d(), 2, strict_eps);
+    let mut agg = baseline_mech.aggregator();
+    for &row in data.rows() {
+        agg.absorb(baseline_mech.encode(row, &mut rng));
+    }
+    let baseline = agg.finish();
+
+    let tvd_pers = mean_kway_tvd(&personalized, &data, 2);
+    let tvd_base = mean_kway_tvd(&baseline, &data, 2);
+    println!("\nmean 2-way TVD:");
+    println!("  everyone at eps = {strict_eps}:     {tvd_base:.4}");
+    println!("  personalized budgets:    {tvd_pers:.4}");
+    println!(
+        "\nweighted aggregation improves accuracy by {:.1}x without changing any\n\
+         individual user's privacy guarantee",
+        tvd_base / tvd_pers
+    );
+}

@@ -1,0 +1,61 @@
+//! Association testing over privately collected marginals (§6.1 /
+//! Figure 7): a taxi service provider checks which attribute pairs are
+//! statistically dependent — without ever seeing a single raw trip.
+//!
+//! Run with `cargo run --release --example taxi_correlations`.
+
+use marginal_ldp::analysis::chi2::chi2_noise_aware_2x2;
+use marginal_ldp::analysis::special::chi2_critical;
+use marginal_ldp::data::taxi::{attr, ATTRIBUTE_NAMES};
+use marginal_ldp::mechanisms::theory::inpht_cell_variance;
+use marginal_ldp::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = TaxiGenerator::default().generate(262_144, &mut rng);
+    let n = data.n() as f64;
+
+    // One LDP collection answers every pair.
+    let estimate = MechanismKind::InpHt.build(data.d(), 2, 1.1).run(data.rows(), 9);
+
+    let critical = chi2_critical(0.05, 1);
+    // Privacy noise inflates the statistic (paper footnote 3); the
+    // noise-aware test adds the expected inflation to the critical value.
+    let cell_var = inpht_cell_variance(8, 2, 1.1, data.n());
+    println!("chi-square critical value (95% confidence, df = 1): {critical:.3}");
+    println!("InpHT per-cell noise variance at this (d,k,eps,N): {cell_var:.2e}\n");
+    println!(
+        "{:28} {:>12} {:>13}  verdict (noise-aware)",
+        "pair", "chi2(exact)", "chi2(private)"
+    );
+
+    let pairs = [
+        (attr::NIGHT_PICK, attr::NIGHT_DROP),
+        (attr::TOLL, attr::FAR),
+        (attr::CC, attr::TIP),
+        (attr::M_PICK, attr::M_DROP),
+        (attr::M_DROP, attr::CC),
+        (attr::FAR, attr::NIGHT_PICK),
+        (attr::TOLL, attr::NIGHT_PICK),
+    ];
+    for (a, b) in pairs {
+        let beta = Mask::from_attrs(&[a, b]);
+        let exact = chi2_independence_2x2(&data.true_marginal(beta), n);
+        let private = chi2_noise_aware_2x2(&estimate.marginal(beta), n, cell_var);
+        let verdict = if private.rejects_independence(0.05) {
+            "dependent"
+        } else {
+            "independent"
+        };
+        println!(
+            "({:>10}, {:<10})  {:>12.1} {:>13.1}  {verdict}",
+            ATTRIBUTE_NAMES[a as usize], ATTRIBUTE_NAMES[b as usize],
+            exact.statistic, private.statistic
+        );
+    }
+    println!(
+        "\nWith the noise-aware correction the private verdicts match the ground truth: \
+         the first four pairs are dependent by construction, the last three independent."
+    );
+}

@@ -1,0 +1,155 @@
+//! Edge cases and failure injection across the full pipeline.
+
+use marginal_ldp::core::{InpHt, InpPs, MargPs};
+use marginal_ldp::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn single_attribute_domain() {
+    // d = 1, k = 1 must work for every mechanism.
+    let rows: Vec<u64> = (0..20_000).map(|i| u64::from(i % 4 == 0)).collect();
+    let data = BinaryDataset::new(1, rows);
+    for kind in MechanismKind::SIX {
+        let est = kind.build(1, 1, 2.0).run(data.rows(), 1);
+        let m = est.marginal(Mask::full(1));
+        assert_eq!(m.len(), 2, "{}", kind.name());
+        let truth = data.true_marginal(Mask::full(1));
+        assert!(
+            (m[1] - truth[1]).abs() < 0.1,
+            "{}: {} vs {}",
+            kind.name(),
+            m[1],
+            truth[1]
+        );
+    }
+}
+
+#[test]
+fn k_equals_d() {
+    // The (unique) d-way marginal is the full distribution.
+    let rows: Vec<u64> = (0..30_000).map(|i| (i % 7) as u64 % 8).collect();
+    let data = BinaryDataset::new(3, rows);
+    for kind in [MechanismKind::InpHt, MechanismKind::MargPs, MechanismKind::MargHt] {
+        let est = kind.build(3, 3, 2.0).run(data.rows(), 2);
+        let m = est.marginal(Mask::full(3));
+        let truth = data.true_marginal(Mask::full(3));
+        let tvd = total_variation_distance(&m, &truth);
+        assert!(tvd < 0.1, "{}: tvd {tvd}", kind.name());
+    }
+}
+
+#[test]
+fn tiny_populations_do_not_panic() {
+    for n in [1usize, 2, 3, 17] {
+        let rows: Vec<u64> = (0..n as u64).map(|i| i % 4).collect();
+        for kind in MechanismKind::SIX {
+            let est = kind.build(2, 1, 1.0).run(&rows, 3);
+            let m = est.marginal(Mask::single(0));
+            assert!(m.iter().all(|v| v.is_finite()), "{} n={n}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn population_smaller_than_coefficient_set() {
+    // InpHT with N < |T|: most coefficients unsampled, estimate to 0;
+    // marginals remain finite and near-uniform.
+    let mech = InpHt::new(16, 2, 1.0);
+    assert!(mech.coefficient_count() > 100);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut agg = mech.aggregator();
+    for row in 0..50u64 {
+        agg.absorb(mech.encode(row, &mut rng));
+    }
+    let est = agg.finish();
+    let m = est.marginal(Mask::from_attrs(&[3, 9]));
+    assert!(m.iter().all(|v| v.is_finite()));
+    let s: f64 = m.iter().sum();
+    assert!((s - 1.0).abs() < 1e-9, "constant coefficient pins the mass");
+}
+
+#[test]
+fn extreme_epsilons() {
+    let rows: Vec<u64> = (0..40_000).map(|i| u64::from(i % 3 == 0) | (u64::from(i % 5 == 0) << 1)).collect();
+    let data = BinaryDataset::new(2, rows);
+    // Very strict: estimates exist and are finite (accuracy is poor).
+    let strict = MechanismKind::InpHt.build(2, 2, 0.01).run(data.rows(), 5);
+    assert!(strict.marginal(Mask::full(2)).iter().all(|v| v.is_finite()));
+    // Very loose: estimates are near-exact.
+    let loose = MechanismKind::InpHt.build(2, 2, 10.0).run(data.rows(), 6);
+    let tvd = total_variation_distance(
+        &loose.marginal(Mask::full(2)),
+        &data.true_marginal(Mask::full(2)),
+    );
+    assert!(tvd < 0.02, "loose eps tvd {tvd}");
+}
+
+#[test]
+fn population_at_shard_boundaries() {
+    // Exercise the parallel runner's chunking logic at awkward sizes.
+    for n in [4095usize, 4096, 4097, 8191] {
+        let rows: Vec<u64> = (0..n as u64).map(|i| i % 8).collect();
+        let est = MechanismKind::MargPs.build(3, 2, 1.0).run(&rows, 7);
+        let m = est.marginal(Mask::from_attrs(&[0, 2]));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6, "n={n}");
+    }
+}
+
+#[test]
+fn consistency_pipeline_on_fresh_population() {
+    use marginal_ldp::core::consistency::{is_consistent, make_consistent};
+    let mut rng = StdRng::seed_from_u64(8);
+    let data = TaxiGenerator::default().generate(40_000, &mut rng);
+    let mech = MargPs::new(8, 2, 1.1);
+    let mut agg = mech.aggregator();
+    for &row in data.rows() {
+        agg.absorb(mech.encode(row, &mut rng));
+    }
+    let est = agg.finish();
+    let fixed = make_consistent(&est);
+    assert!(is_consistent(&fixed, 1e-9));
+    // Consistency is idempotent.
+    let twice = make_consistent(&fixed);
+    for i in 0..fixed.marginals().len() {
+        for (a, b) in fixed.table(i).iter().zip(twice.table(i)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn duplicated_columns_are_perfectly_recovered_as_correlated() {
+    // Figure 6's column duplication: a mechanism should see duplicated
+    // attributes as perfectly correlated, and InpHT's estimate of the
+    // (orig, copy) marginal should put ~all mass on the diagonal.
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = TaxiGenerator::default()
+        .generate(120_000, &mut rng)
+        .duplicate_columns(16);
+    let est = MechanismKind::InpHt.build(16, 2, 2.0).run(data.rows(), 10);
+    // Attribute 8 duplicates attribute 0.
+    let m = clamp_normalize(&est.marginal(Mask::from_attrs(&[0, 8])));
+    let diag = m[0b00] + m[0b11];
+    assert!(diag > 0.9, "diagonal mass {diag}");
+}
+
+#[test]
+#[should_panic(expected = "no reports absorbed")]
+fn finishing_empty_aggregator_panics() {
+    let mech = InpPs::new(3, 1.0);
+    let _ = mech.aggregator().finish();
+}
+
+#[test]
+fn marginal_set_uniform_fallback_is_finite() {
+    // MargPS with one user: 27 of 28 marginals unsampled → uniform.
+    let mech = MargPs::new(8, 2, 1.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut agg = mech.aggregator();
+    agg.absorb(mech.encode(0b1010_1010, &mut rng));
+    let est = agg.finish();
+    for i in 0..est.marginals().len() {
+        assert!(est.table(i).iter().all(|v| v.is_finite()));
+        assert!((est.table(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based cross-crate invariants.
+
+use marginal_ldp::core::exact_hadamard_estimate;
+use marginal_ldp::prelude::*;
+use marginal_ldp::transform::efron_stein::{
+    marginalize_categorical, CategoricalDomain, EfronStein,
+};
+use proptest::prelude::*;
+
+fn arb_dataset(d: u32, max_n: usize) -> impl Strategy<Value = BinaryDataset> {
+    let mask = (1u64 << d) - 1;
+    proptest::collection::vec(any::<u64>().prop_map(move |r| r & mask), 8..max_n)
+        .prop_map(move |rows| BinaryDataset::new(d, rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 3.7 at the system level: exact Hadamard coefficients
+    /// reconstruct every marginal of every random dataset exactly.
+    #[test]
+    fn hadamard_reconstruction_is_exact(data in arb_dataset(5, 64)) {
+        let est = exact_hadamard_estimate(&data, 3);
+        for beta_bits in 0u64..32 {
+            let beta = Mask::new(beta_bits);
+            if beta.weight() > 3 { continue; }
+            let truth = data.true_marginal(beta);
+            let got = est.marginal(beta);
+            for (a, b) in truth.iter().zip(&got) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Marginal consistency: aggregating a 2-way table to 1-way equals
+    /// querying the 1-way marginal directly, for every estimate type.
+    #[test]
+    fn submarginal_consistency(seed in 0u64..1000) {
+        let data = {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            TaxiGenerator::default().generate(2_000, &mut rng).project(Mask::full(5))
+        };
+        for kind in [MechanismKind::InpHt, MechanismKind::InpRr] {
+            let est = kind.build(5, 2, 1.5).run(data.rows(), seed);
+            let two = est.marginal(Mask::from_attrs(&[1, 3]));
+            let one = est.marginal(Mask::from_attrs(&[1]));
+            // Sum out attribute 3 (local bit 1).
+            let folded = [two[0b00] + two[0b10], two[0b01] + two[0b11]];
+            prop_assert!((folded[0] - one[0]).abs() < 1e-9, "{}", kind.name());
+            prop_assert!((folded[1] - one[1]).abs() < 1e-9, "{}", kind.name());
+        }
+    }
+
+    /// clamp_normalize always yields a probability distribution that
+    /// preserves the argmax of the raw table (when positive).
+    #[test]
+    fn clamp_normalize_is_sound(raw in proptest::collection::vec(-0.5f64..1.5, 2..32)) {
+        let p = clamp_normalize(&raw);
+        prop_assert_eq!(p.len(), raw.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| (0.0..=1.0 + 1e-12).contains(v)));
+        let max_raw = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if max_raw > 0.0 {
+            let argmax_raw = raw.iter().position(|&v| v == max_raw).unwrap();
+            let max_p = p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((p[argmax_raw] - max_p).abs() < 1e-12);
+        }
+    }
+
+    /// Efron–Stein marginals agree with direct categorical marginals on
+    /// random tables (the §6.3 extension's core guarantee).
+    #[test]
+    fn efron_stein_marginals_exact(raw in proptest::collection::vec(0.01f64..1.0, 24)) {
+        let domain = CategoricalDomain::new(&[2, 3, 4]);
+        let total: f64 = raw.iter().sum();
+        let p: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let es = EfronStein::decompose(&p, &domain);
+        for beta_bits in 0u64..8 {
+            let beta = Mask::new(beta_bits);
+            let direct = marginalize_categorical(&p, &domain, beta);
+            let via = es.marginal(beta);
+            for (a, b) in direct.iter().zip(&via) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The categorical binary encoding round-trips marginal mass: the
+    /// categorical marginal recovered from an exact binary marginal sums
+    /// to 1 and matches the dataset.
+    #[test]
+    fn categorical_encoding_roundtrip(seed in 0u64..500) {
+        let schema = CategoricalSchema::new(&[3, 4]);
+        let dists = vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.3, 0.2, 0.1]];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let data = schema.generate_independent(&dists, 4_000, &mut rng);
+        let table = data.true_marginal(schema.binary_mask(&[0, 1]));
+        let cat = schema.categorical_marginal(&[0, 1], &table);
+        prop_assert_eq!(cat.len(), 12);
+        prop_assert!((cat.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Unbiasedness at the pipeline level: the mean over repeated runs of a
+/// cell estimate converges to the truth for every mechanism (not a
+/// proptest — a fixed statistical test with controlled tolerance).
+#[test]
+fn pipeline_estimates_are_unbiased() {
+    let data = {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        TaxiGenerator::default().generate(4_000, &mut rng).project(Mask::full(4))
+    };
+    let beta = Mask::from_attrs(&[0, 2]);
+    let truth = data.true_marginal(beta);
+    let reps = 60;
+    for kind in MechanismKind::SIX {
+        let mech = kind.build(4, 2, 1.1);
+        let mut mean = [0.0f64; 4];
+        for r in 0..reps {
+            let m = mech.run(data.rows(), 1000 + r).marginal(beta);
+            for (acc, v) in mean.iter_mut().zip(&m) {
+                *acc += v / reps as f64;
+            }
+        }
+        for (cell, (m, t)) in mean.iter().zip(&truth).enumerate() {
+            assert!(
+                (m - t).abs() < 0.05,
+                "{} cell {cell}: mean {m} vs truth {t}",
+                kind.name()
+            );
+        }
+    }
+}
