@@ -227,11 +227,13 @@ mod tests {
     #[test]
     fn noise_aware_accepts_independent_noisy_tables() {
         // An independent table plus synthetic noise of known variance:
-        // the naive test rejects, the noise-aware one does not.
+        // the naive test rejects, the noise-aware one does not. The
+        // noise level is large enough that the contrast is a >4 sigma
+        // margin on both counters, not a property of one RNG stream.
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0);
         let n = 262_144.0;
-        let sigma = 5e-3;
+        let sigma = 2e-2;
         let clean = [0.7 * 0.4, 0.3 * 0.4, 0.7 * 0.6, 0.3 * 0.6];
         let mut naive_rejects = 0;
         let mut aware_rejects = 0;
@@ -244,8 +246,7 @@ mod tests {
                     v + sigma * g
                 })
                 .collect();
-            naive_rejects +=
-                u32::from(chi2_independence_2x2(&noisy, n).rejects_independence(0.05));
+            naive_rejects += u32::from(chi2_independence_2x2(&noisy, n).rejects_independence(0.05));
             aware_rejects += u32::from(
                 chi2_noise_aware_2x2(&noisy, n, sigma * sigma).rejects_independence(0.05),
             );

@@ -153,7 +153,9 @@ impl TreeModel {
     #[must_use]
     pub fn full_distribution(&self) -> Vec<f64> {
         assert!(self.d <= 20, "enumeration limited to d ≤ 20");
-        (0..(1u64 << self.d)).map(|row| self.joint_prob(row)).collect()
+        (0..(1u64 << self.d))
+            .map(|row| self.joint_prob(row))
+            .collect()
     }
 
     /// Draw one record from the model.
@@ -260,9 +262,7 @@ mod tests {
     #[test]
     fn model_distribution_is_normalized() {
         let rows = chain_rows(50_000, 2);
-        let tree = maximum_spanning_tree(3, |a, b| {
-            mutual_information_2x2(&pair_from(&rows)(a, b))
-        });
+        let tree = maximum_spanning_tree(3, |a, b| mutual_information_2x2(&pair_from(&rows)(a, b)));
         let model = TreeModel::fit(3, &tree, pair_from(&rows));
         let total: f64 = model.full_distribution().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -271,9 +271,7 @@ mod tests {
     #[test]
     fn sampling_matches_model() {
         let rows = chain_rows(100_000, 3);
-        let tree = maximum_spanning_tree(3, |a, b| {
-            mutual_information_2x2(&pair_from(&rows)(a, b))
-        });
+        let tree = maximum_spanning_tree(3, |a, b| mutual_information_2x2(&pair_from(&rows)(a, b)));
         let model = TreeModel::fit(3, &tree, pair_from(&rows));
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<u64> = (0..200_000).map(|_| model.sample(&mut rng)).collect();
@@ -289,7 +287,11 @@ mod tests {
         // Two attributes connected, one isolated: the model treats the
         // isolated one as an independent fair coin (no marginal info).
         let rows = chain_rows(50_000, 5);
-        let edges = [Edge { a: 0, b: 1, weight: 1.0 }];
+        let edges = [Edge {
+            a: 0,
+            b: 1,
+            weight: 1.0,
+        }];
         let model = TreeModel::fit(3, &edges, pair_from(&rows));
         let dist = model.full_distribution();
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -316,7 +318,11 @@ mod tests {
     #[test]
     fn handles_noisy_marginals() {
         // Negative cells (privacy noise) are clamped, model stays valid.
-        let edges = [Edge { a: 0, b: 1, weight: 1.0 }];
+        let edges = [Edge {
+            a: 0,
+            b: 1,
+            weight: 1.0,
+        }];
         let model = TreeModel::fit(2, &edges, |_, _| vec![0.6, -0.05, 0.25, 0.2]);
         let dist = model.full_distribution();
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -13,13 +13,17 @@ fn fwht_scaling(c: &mut Criterion) {
         let n = 1usize << d;
         group.throughput(Throughput::Elements(n as u64));
         let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{d}")), &data, |b, x| {
-            b.iter(|| {
-                let mut y = x.clone();
-                fwht(&mut y);
-                black_box(y)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{d}")),
+            &data,
+            |b, x| {
+                b.iter(|| {
+                    let mut y = x.clone();
+                    fwht(&mut y);
+                    black_box(y)
+                })
+            },
+        );
     }
     group.finish();
 }

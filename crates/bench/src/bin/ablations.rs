@@ -13,8 +13,8 @@
 
 use ldp_bench::{fmt_summary, parse_common_args, print_table, summarize, DataSource, Truth};
 use ldp_core::consistency;
-use ldp_core::{MargHt, MarginalSetEstimate, MechanismKind};
 use ldp_core::{InpRr, MargRr};
+use ldp_core::{MargHt, MarginalSetEstimate, MechanismKind};
 use ldp_mechanisms::UnaryFlavor;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -52,8 +52,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Ablation 1: PRR probability flavor, taxi d={d} k={k} eps={eps} N=2^{}",
-            n.trailing_zeros()),
+        &format!(
+            "Ablation 1: PRR probability flavor, taxi d={d} k={k} eps={eps} N=2^{}",
+            n.trailing_zeros()
+        ),
         &["flavor", "InpRR TVD", "MargRR TVD"],
         &rows,
     );
@@ -69,7 +71,9 @@ fn main() {
         let truth = Truth::new(&data);
         let em = MechanismKind::InpEm.build(d, k, eps).run(data.rows(), seed);
         bs.push(truth.mean_kway_tvd(&em, k));
-        let ps = MechanismKind::MargPs.build(d, k, eps).run(data.rows(), seed);
+        let ps = MechanismKind::MargPs
+            .build(d, k, eps)
+            .run(data.rows(), seed);
         samp.push(truth.mean_kway_tvd(&ps, k));
     }
     rows.push(vec![
@@ -137,12 +141,19 @@ fn main() {
         let seed = 4000 + r as u64;
         let data = DataSource::Taxi.generate(d, n, seed);
         let truth = Truth::new(&data);
-        let est = MechanismKind::MargPs.build(d, k, eps).run(data.rows(), seed);
-        let ldp_core::Estimate::MarginalSet(set) = est else { unreachable!() };
+        let est = MechanismKind::MargPs
+            .build(d, k, eps)
+            .run(data.rows(), seed);
+        let ldp_core::Estimate::MarginalSet(set) = est else {
+            unreachable!()
+        };
         raw.push(truth.mean_kway_tvd(&set, k));
         fixed.push(truth.mean_kway_tvd(&consistency::make_consistent(&set), k));
     }
-    rows.push(vec!["independent tables (raw)".to_string(), fmt_summary(summarize(&raw))]);
+    rows.push(vec![
+        "independent tables (raw)".to_string(),
+        fmt_summary(summarize(&raw)),
+    ]);
     rows.push(vec![
         "coefficient-pooled (Barak-style consistency)".to_string(),
         fmt_summary(summarize(&fixed)),

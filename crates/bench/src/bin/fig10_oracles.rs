@@ -15,7 +15,11 @@ fn main() {
     let k = 2u32;
     let eps = 3f64.ln();
     let n = if quick { 1 << 13 } else { 1 << 16 };
-    let dims: Vec<u32> = if quick { vec![4, 8] } else { vec![4, 8, 12, 16] };
+    let dims: Vec<u32> = if quick {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 12, 16]
+    };
     // OLH decode budget in hash evaluations — chosen so that (as in the
     // paper) d ≤ 8 completes and d ≥ 12 times out at full population.
     let olh_budget: u64 = 4 * (n as u64) * (1 << 8);
@@ -81,8 +85,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Figure 10: frequency oracles, skewed synthetic, k=2, N=2^{}, e^eps=3",
-            n.trailing_zeros()),
+        &format!(
+            "Figure 10: frequency oracles, skewed synthetic, k=2, N=2^{}, e^eps=3",
+            n.trailing_zeros()
+        ),
         &["d", "InpHT", "InpOLH", "InpHTCMS"],
         &rows,
     );

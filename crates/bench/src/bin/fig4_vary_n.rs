@@ -28,10 +28,8 @@ fn main() {
                 // all six mechanisms — matching the paper's protocol.
                 let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); MechanismKind::SIX.len()];
                 for r in 0..reps {
-                    let seed = (u64::from(d) << 48)
-                        ^ (u64::from(k) << 40)
-                        ^ ((n as u64) << 8)
-                        ^ r as u64;
+                    let seed =
+                        (u64::from(d) << 48) ^ (u64::from(k) << 40) ^ ((n as u64) << 8) ^ r as u64;
                     let data = DataSource::MovieLens.generate(d, n, seed);
                     let truth = Truth::new(&data);
                     for (mi, kind) in MechanismKind::SIX.iter().enumerate() {
@@ -40,11 +38,7 @@ fn main() {
                     }
                 }
                 let mut row = vec![format!("2^{}", n.trailing_zeros())];
-                row.extend(
-                    per_mech
-                        .iter()
-                        .map(|tvds| fmt_summary(summarize(tvds))),
-                );
+                row.extend(per_mech.iter().map(|tvds| fmt_summary(summarize(tvds))));
                 rows.push(row);
             }
             let mut header = vec!["N"];

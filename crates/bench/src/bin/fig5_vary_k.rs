@@ -8,7 +8,11 @@ fn main() {
     let (reps, quick) = parse_common_args(3);
     let (d, eps) = (8u32, 3f64.ln());
     let n = if quick { 1 << 15 } else { 1 << 18 };
-    let ks: Vec<u32> = if quick { vec![1, 2, 3] } else { (1..=7).collect() };
+    let ks: Vec<u32> = if quick {
+        vec![1, 2, 3]
+    } else {
+        (1..=7).collect()
+    };
 
     let mut rows = Vec::new();
     for &k in &ks {
@@ -29,7 +33,10 @@ fn main() {
     let mut header = vec!["k"];
     header.extend(MechanismKind::SIX.iter().map(|m| m.name()));
     print_table(
-        &format!("Figure 5: taxi, d=8, N=2^{}, e^eps=3 (mean k-way TVD ± std)", n.trailing_zeros()),
+        &format!(
+            "Figure 5: taxi, d=8, N=2^{}, e^eps=3 (mean k-way TVD ± std)",
+            n.trailing_zeros()
+        ),
         &header,
         &rows,
     );

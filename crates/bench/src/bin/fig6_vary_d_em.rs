@@ -9,9 +9,17 @@ fn main() {
     let (reps, quick) = parse_common_args(3);
     let k = 2u32;
     let n = if quick { 1 << 14 } else { 1 << 17 };
-    let ds: Vec<u32> = if quick { vec![8, 16] } else { vec![8, 16, 24, 32] };
+    let ds: Vec<u32> = if quick {
+        vec![8, 16]
+    } else {
+        vec![8, 16, 24, 32]
+    };
     let epss = [0.4, 0.8, 1.2];
-    let methods = [MechanismKind::InpHt, MechanismKind::MargPs, MechanismKind::InpEm];
+    let methods = [
+        MechanismKind::InpHt,
+        MechanismKind::MargPs,
+        MechanismKind::InpEm,
+    ];
 
     for &d in &ds {
         let mut rows = Vec::new();

@@ -4,11 +4,11 @@
 
 use ldp_analysis::chi2::{chi2_independence_2x2, chi2_noise_aware_2x2};
 use ldp_analysis::special::chi2_critical;
-use ldp_mechanisms::theory::inpht_cell_variance;
 use ldp_bench::{parse_common_args, print_table, DataSource, Truth};
 use ldp_bits::Mask;
 use ldp_core::{MarginalEstimator, MechanismKind};
 use ldp_data::taxi::{attr, ATTRIBUTE_NAMES};
+use ldp_mechanisms::theory::inpht_cell_variance;
 
 fn main() {
     let (_reps, quick) = parse_common_args(1);
@@ -45,7 +45,12 @@ fn main() {
                     "({}, {})",
                     ATTRIBUTE_NAMES[a as usize], ATTRIBUTE_NAMES[b as usize]
                 ),
-                if expect_dep { "dependent" } else { "independent" }.to_string(),
+                if expect_dep {
+                    "dependent"
+                } else {
+                    "independent"
+                }
+                .to_string(),
                 format!("{stat_true:.1}"),
                 format!("{stat_ht:.1}"),
                 format!("{stat_ps:.1}"),
@@ -54,7 +59,12 @@ fn main() {
                     if stat_ht > critical { "dep" } else { "ind" },
                     if stat_ps > critical { "dep" } else { "ind" }
                 ),
-                if aware.rejects_independence(0.05) { "dep" } else { "ind" }.to_string(),
+                if aware.rejects_independence(0.05) {
+                    "dep"
+                } else {
+                    "ind"
+                }
+                .to_string(),
             ]
         })
         .collect();

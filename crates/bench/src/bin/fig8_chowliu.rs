@@ -28,9 +28,8 @@ fn main() {
             let seed = ((eps * 1000.0) as u64) << 20 | r as u64;
             let data = DataSource::MovieLens.generate(d, n, seed);
             let truth = Truth::new(&data);
-            let true_mi = |a: u32, b: u32| {
-                mutual_information_2x2(&truth.marginal(Mask::from_attrs(&[a, b])))
-            };
+            let true_mi =
+                |a: u32, b: u32| mutual_information_2x2(&truth.marginal(Mask::from_attrs(&[a, b])));
             // Non-private optimum.
             let base_tree = maximum_spanning_tree(d, true_mi);
             opt.push(total_weight(&base_tree));

@@ -1,0 +1,76 @@
+//! Sharded-runner scaling experiment: serial vs `run_sharded` wall time
+//! on a large synthetic population, with bit-identity verification.
+//!
+//! ```text
+//! cargo run --release -p ldp_bench --bin sharding_speedup [n] [shards]
+//! ```
+//!
+//! Defaults: n = 1,000,000 taxi users, shards = 8. Prints per-mechanism
+//! serial and sharded wall times, the speedup, and verifies the two
+//! estimates are bit-identical before reporting anything. The speedup
+//! ceiling is `min(shards, cores)`: shards are embarrassingly parallel
+//! and merged in O(state) at the end, so on a single-core machine the
+//! interesting number is the *overhead* (sharded/serial ≈ 1.0).
+
+use ldp_bench::DataSource;
+use ldp_core::MechanismKind;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n must be an integer"))
+        .unwrap_or(1_000_000);
+    let shards: usize = args
+        .next()
+        .map(|a| a.parse().expect("shards must be an integer"))
+        .unwrap_or(8);
+    let (d, k, eps, seed) = (8u32, 2u32, 1.1f64, 42u64);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("population n = {n}, d = {d}, k = {k}, eps = {eps}");
+    println!("shards = {shards}, available cores = {cores}");
+    println!();
+
+    let data = DataSource::Taxi.generate(d, n, seed);
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>8}  identical",
+        "", "serial", "sharded", "speedup"
+    );
+    for kind in [
+        MechanismKind::InpPs,
+        MechanismKind::InpHt,
+        MechanismKind::MargRr,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+    ] {
+        let mechanism = kind.build(d, k, eps);
+
+        // Explicit 1-shard baseline: `run` itself auto-shards across
+        // the available cores.
+        let t0 = Instant::now();
+        let serial = mechanism.run_sharded(data.rows(), seed, 1);
+        let t_serial = t0.elapsed();
+
+        let t0 = Instant::now();
+        let sharded = mechanism.run_sharded(data.rows(), seed, shards);
+        let t_sharded = t0.elapsed();
+
+        let identical = serial == sharded;
+        println!(
+            "{:>8}  {:>10.1?}  {:>10.1?}  {:>7.2}x  {}",
+            kind.name(),
+            t_serial,
+            t_sharded,
+            t_serial.as_secs_f64() / t_sharded.as_secs_f64(),
+            identical,
+        );
+        assert!(
+            identical,
+            "{} diverged between serial and sharded",
+            kind.name()
+        );
+    }
+}

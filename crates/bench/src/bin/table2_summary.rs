@@ -27,8 +27,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Table 2: d={d}, k={k}, eps={eps}, N=2^{}", n.trailing_zeros()),
-        &["Method", "Comm (bits)", "Error bound shape", "Measured mean TVD"],
+        &format!(
+            "Table 2: d={d}, k={k}, eps={eps}, N=2^{}",
+            n.trailing_zeros()
+        ),
+        &[
+            "Method",
+            "Comm (bits)",
+            "Error bound shape",
+            "Measured mean TVD",
+        ],
         &rows,
     );
     println!(

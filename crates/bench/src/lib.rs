@@ -1,8 +1,8 @@
 #![warn(missing_docs)]
 
 //! Experiment harness: shared machinery for the per-figure binaries that
-//! regenerate every table and figure of the paper (see `DESIGN.md` §4 for
-//! the experiment index and `EXPERIMENTS.md` for recorded results).
+//! regenerate every table and figure of the paper (see the top-level
+//! `README.md` for the experiment index and how to run each binary).
 //!
 //! Each binary prints the same rows/series the paper reports; pass
 //! `--reps R` to change the repetition count (the paper uses 10; the
@@ -195,7 +195,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -30,7 +30,7 @@ mod subsets;
 
 pub use binom::{binomial, binomial_table, log2_binomial};
 pub use mask::Mask;
-pub use pext::{compress, expand};
+pub use pext::{compress, compress_portable, expand, expand_portable};
 pub use rank::{rank_weight_k, unrank_weight_k, WeightRank};
 pub use subsets::{masks_of_weight, masks_of_weight_at_most, submasks, SubmaskIter, WeightIter};
 

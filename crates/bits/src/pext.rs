@@ -9,13 +9,19 @@
 //!   compact form).
 //! * `expand(γ, β)` is the inverse: it scatters the low `|β|` bits of `γ`
 //!   to the positions set in `β`.
+//!
+//! On x86-64 with BMI2 these are single `PEXT`/`PDEP` instructions; the
+//! portable bit loop is the default everywhere else. Dispatch order:
+//! compile-time `target_feature = "bmi2"` (e.g. `-C target-cpu=native`)
+//! uses the intrinsic directly, otherwise x86-64 builds consult the
+//! std-cached runtime CPUID check, and every other target (or a CPU
+//! without BMI2) takes the portable path.
 
-/// Gather the bits of `x` selected by `mask` into contiguous low bits.
-///
-/// Equivalent to the x86 `PEXT` instruction. `O(weight(mask))`.
+/// Portable [`compress`]: gather one selected bit per loop iteration.
+/// `O(weight(mask))`.
 #[inline]
 #[must_use]
-pub fn compress(x: u64, mask: u64) -> u64 {
+pub fn compress_portable(x: u64, mask: u64) -> u64 {
     let mut m = mask;
     let mut out = 0u64;
     let mut shift = 0u32;
@@ -30,12 +36,11 @@ pub fn compress(x: u64, mask: u64) -> u64 {
     out
 }
 
-/// Scatter the low bits of `x` to the positions selected by `mask`.
-///
-/// Equivalent to the x86 `PDEP` instruction. `O(weight(mask))`.
+/// Portable [`expand`]: scatter one selected bit per loop iteration.
+/// `O(weight(mask))`.
 #[inline]
 #[must_use]
-pub fn expand(x: u64, mask: u64) -> u64 {
+pub fn expand_portable(x: u64, mask: u64) -> u64 {
     let mut m = mask;
     let mut out = 0u64;
     let mut src = x;
@@ -48,6 +53,86 @@ pub fn expand(x: u64, mask: u64) -> u64 {
         m ^= bit;
     }
     out
+}
+
+#[cfg(all(target_arch = "x86_64", not(target_feature = "bmi2")))]
+#[inline]
+fn bmi2_available() -> bool {
+    // `is_x86_feature_detected!` caches the CPUID result in a static, so
+    // the steady-state cost is one relaxed atomic load and a branch.
+    std::arch::is_x86_feature_detected!("bmi2")
+}
+
+/// # Safety
+/// The CPU must support BMI2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[inline]
+unsafe fn pext_bmi2(x: u64, mask: u64) -> u64 {
+    core::arch::x86_64::_pext_u64(x, mask)
+}
+
+/// # Safety
+/// The CPU must support BMI2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[inline]
+unsafe fn pdep_bmi2(x: u64, mask: u64) -> u64 {
+    core::arch::x86_64::_pdep_u64(x, mask)
+}
+
+/// Gather the bits of `x` selected by `mask` into contiguous low bits.
+///
+/// The x86 `PEXT` operation (hardware when BMI2 is available, portable
+/// loop otherwise).
+#[inline]
+#[must_use]
+pub fn compress(x: u64, mask: u64) -> u64 {
+    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+    {
+        // SAFETY: the target was compiled with BMI2 enabled.
+        unsafe { pext_bmi2(x, mask) }
+    }
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "bmi2")))]
+    {
+        if bmi2_available() {
+            // SAFETY: the runtime check above proved BMI2 is present.
+            unsafe { pext_bmi2(x, mask) }
+        } else {
+            compress_portable(x, mask)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        compress_portable(x, mask)
+    }
+}
+
+/// Scatter the low bits of `x` to the positions selected by `mask`.
+///
+/// The x86 `PDEP` operation (hardware when BMI2 is available, portable
+/// loop otherwise).
+#[inline]
+#[must_use]
+pub fn expand(x: u64, mask: u64) -> u64 {
+    #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
+    {
+        // SAFETY: the target was compiled with BMI2 enabled.
+        unsafe { pdep_bmi2(x, mask) }
+    }
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "bmi2")))]
+    {
+        if bmi2_available() {
+            // SAFETY: the runtime check above proved BMI2 is present.
+            unsafe { pdep_bmi2(x, mask) }
+        } else {
+            expand_portable(x, mask)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        expand_portable(x, mask)
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +171,12 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn dispatched_matches_portable(x in any::<u64>(), mask in any::<u64>()) {
+            prop_assert_eq!(compress(x, mask), compress_portable(x, mask));
+            prop_assert_eq!(expand(x, mask), expand_portable(x, mask));
+        }
+
         #[test]
         fn expand_then_compress_roundtrip(x in any::<u64>(), mask in any::<u64>()) {
             // expand only reads the low weight(mask) bits; compress recovers them.

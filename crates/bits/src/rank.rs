@@ -42,7 +42,7 @@ pub fn unrank_weight_k(rank: u64, k: u32) -> Mask {
 /// Dense indexer for the coefficient set `T = {α : 1 ≤ |α| ≤ k}` over `d`
 /// attributes, ordered by weight then numerically (matching
 /// [`crate::masks_of_weight_at_most`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WeightRank {
     d: u32,
     k: u32,
@@ -59,8 +59,7 @@ impl WeightRank {
         assert!(d <= 63 && k <= d, "need k ≤ d ≤ 63");
         let mut offsets = vec![0u64; k as usize + 2];
         for w in 1..=k {
-            offsets[w as usize + 1] =
-                offsets[w as usize] + binomial(u64::from(d), u64::from(w));
+            offsets[w as usize + 1] = offsets[w as usize] + binomial(u64::from(d), u64::from(w));
         }
         WeightRank {
             d,
@@ -106,16 +105,10 @@ impl WeightRank {
             "mask weight {w} outside 1..={}",
             self.k
         );
-        assert!(
-            mask.is_subset_of(Mask::full(self.d)),
-            "mask outside domain"
-        );
+        assert!(mask.is_subset_of(Mask::full(self.d)), "mask outside domain");
         let mut rank = 0u64;
         for (i, attr) in mask.attrs().enumerate() {
-            rank += self.binom[attr as usize]
-                .get(i + 1)
-                .copied()
-                .unwrap_or(0);
+            rank += self.binom[attr as usize].get(i + 1).copied().unwrap_or(0);
         }
         (self.offsets[w as usize] + rank) as usize
     }

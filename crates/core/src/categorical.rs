@@ -183,10 +183,7 @@ impl CatMarginalSetEstimate {
 
 /// Number of cells of the marginal over `subset`.
 fn table_len(arities: &[usize], subset: Mask) -> usize {
-    subset
-        .attrs()
-        .map(|a| arities[a as usize])
-        .product()
+    subset.attrs().map(|a| arities[a as usize]).product()
 }
 
 /// Mixed-radix cell index of `record` within the marginal over `subset`
@@ -209,11 +206,7 @@ mod tests {
     use ldp_sampling::AliasTable;
     use rand::{rngs::StdRng, SeedableRng};
 
-    fn independent_records(
-        dists: &[Vec<f64>],
-        n: usize,
-        seed: u64,
-    ) -> Vec<Vec<usize>> {
+    fn independent_records(dists: &[Vec<f64>], n: usize, seed: u64) -> Vec<Vec<usize>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let tables: Vec<AliasTable> = dists.iter().map(|w| AliasTable::new(w)).collect();
         (0..n)
@@ -326,6 +319,9 @@ mod tests {
             }
         }
         a.merge(b);
-        assert_eq!(a.finish().marginal(&[0, 1]), whole.finish().marginal(&[0, 1]));
+        assert_eq!(
+            a.finish().marginal(&[0, 1]),
+            whole.finish().marginal(&[0, 1])
+        );
     }
 }

@@ -3,8 +3,9 @@
 
 use ldp_bits::{masks_of_weight, Mask, WeightRank};
 use ldp_data::BinaryDataset;
-use ldp_transform::{marginal_from_coefficients, marginalize, marginalize_table,
-    total_variation_distance};
+use ldp_transform::{
+    marginal_from_coefficients, marginalize, marginalize_table, total_variation_distance,
+};
 
 /// Anything that can answer marginal queries over a `d`-attribute domain.
 pub trait MarginalEstimator {
@@ -23,7 +24,7 @@ pub trait MarginalEstimator {
 
 /// Estimate of the entire `2^d` input distribution (from `InpRr` /
 /// `InpPs`); marginals are obtained by aggregation, as in §4.2.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FullDistributionEstimate {
     d: u32,
     dist: Vec<f64>,
@@ -60,7 +61,7 @@ impl MarginalEstimator for FullDistributionEstimate {
 
 /// Estimate of the weight-≤k scaled Hadamard coefficients (from `InpHt`);
 /// marginals are reconstructed via Lemma 3.7.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HadamardEstimate {
     indexer: WeightRank,
     /// Estimated scaled coefficients `ĉ_α`, indexed by `indexer`.
@@ -110,7 +111,7 @@ impl MarginalEstimator for HadamardEstimate {
 /// Estimates of every k-way marginal table directly (from the `Marg*`
 /// mechanisms). Lower-order marginals are answered by aggregating (and
 /// averaging over) the stored k-way supersets.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MarginalSetEstimate {
     d: u32,
     k: u32,
@@ -197,7 +198,7 @@ impl MarginalEstimator for MarginalSetEstimate {
 }
 
 /// Unified estimate type produced by [`crate::Mechanism::run`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Estimate {
     /// Full-distribution reconstruction (`InpRr`, `InpPs`).
     Full(FullDistributionEstimate),
@@ -258,11 +259,7 @@ pub fn clamp_normalize(table: &[f64]) -> Vec<f64> {
 /// over **all** `C(d,k)` k-way marginals — the quantity plotted in
 /// Figures 4, 5, 6 and 9.
 #[must_use]
-pub fn mean_kway_tvd<E: MarginalEstimator + ?Sized>(
-    est: &E,
-    data: &BinaryDataset,
-    k: u32,
-) -> f64 {
+pub fn mean_kway_tvd<E: MarginalEstimator + ?Sized>(est: &E, data: &BinaryDataset, k: u32) -> f64 {
     assert!(k <= est.max_k() && k <= data.d());
     let mut total = 0.0;
     let mut count = 0usize;
@@ -297,7 +294,9 @@ mod tests {
     fn dataset() -> BinaryDataset {
         BinaryDataset::new(
             4,
-            vec![0b0000, 0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1111, 0b0001],
+            vec![
+                0b0000, 0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1111, 0b0001,
+            ],
         )
     }
 

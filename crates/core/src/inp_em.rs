@@ -20,7 +20,7 @@ use ldp_mechanisms::{budget::split_epsilon, BinaryRandomizedResponse};
 use rand::Rng;
 
 /// Configuration of the `InpEM` mechanism.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InpEm {
     d: u32,
     rr: BinaryRandomizedResponse,
@@ -137,7 +137,7 @@ pub struct EmDiagnostics {
 
 /// Estimate produced by `InpEM`: reported rows plus channel knowledge;
 /// every marginal query runs a fresh EM decode.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmEstimate {
     config: InpEm,
     reported: Vec<u64>,
@@ -227,10 +227,7 @@ impl EmEstimate {
                 diag.estimate
             })
             .collect();
-        (
-            MarginalSetEstimate::new(self.config.d, k, tables),
-            failed,
-        )
+        (MarginalSetEstimate::new(self.config.d, k, tables), failed)
     }
 }
 

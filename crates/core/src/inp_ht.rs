@@ -198,7 +198,10 @@ mod tests {
             let alpha = Mask::new(alpha_bits);
             let truth = pm_one(0b101, alpha_bits);
             let got = est.coefficient(alpha);
-            assert!((got - truth).abs() < 0.15, "alpha={alpha}: {got} vs {truth}");
+            assert!(
+                (got - truth).abs() < 0.15,
+                "alpha={alpha}: {got} vs {truth}"
+            );
         }
     }
 
@@ -234,8 +237,9 @@ mod tests {
     fn merge_equals_sequential() {
         let mech = InpHt::new(5, 2, 1.1);
         let mut rng = StdRng::seed_from_u64(6);
-        let reports: Vec<InpHtReport> =
-            (0..2000u64).map(|i| mech.encode(i % 32, &mut rng)).collect();
+        let reports: Vec<InpHtReport> = (0..2000u64)
+            .map(|i| mech.encode(i % 32, &mut rng))
+            .collect();
         let mut whole = mech.aggregator();
         let mut a = mech.aggregator();
         let mut b = mech.aggregator();

@@ -23,7 +23,10 @@ impl InpPs {
     /// ε-LDP instance over `d` attributes.
     #[must_use]
     pub fn new(d: u32, eps: f64) -> Self {
-        assert!((1..=26).contains(&d), "InpPS materializes 2^d cells; need d ≤ 26");
+        assert!(
+            (1..=26).contains(&d),
+            "InpPS materializes 2^d cells; need d ≤ 26"
+        );
         InpPs {
             d,
             grr: GeneralizedRandomizedResponse::for_epsilon(eps, 1u64 << d),
@@ -92,11 +95,7 @@ impl InpPsAggregator {
     pub fn finish(self) -> FullDistributionEstimate {
         let n = self.n();
         assert!(n > 0, "no reports absorbed");
-        let observed: Vec<f64> = self
-            .counts
-            .iter()
-            .map(|&c| c as f64 / n as f64)
-            .collect();
+        let observed: Vec<f64> = self.counts.iter().map(|&c| c as f64 / n as f64).collect();
         FullDistributionEstimate::new(self.d, self.grr.unbias_histogram(&observed))
     }
 }

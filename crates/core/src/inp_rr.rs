@@ -38,7 +38,10 @@ impl InpRr {
     /// `ablation_oue` bench compares the two).
     #[must_use]
     pub fn with_flavor(d: u32, eps: f64, flavor: UnaryFlavor) -> Self {
-        assert!((1..=24).contains(&d), "InpRR materializes 2^d cells; need d ≤ 24");
+        assert!(
+            (1..=24).contains(&d),
+            "InpRR materializes 2^d cells; need d ≤ 24"
+        );
         InpRr {
             d,
             ue: UnaryEncoding::for_epsilon(eps, flavor),
@@ -98,8 +101,7 @@ impl InpRr {
         agg.n = rows.len();
         for (cell, ones) in agg.ones.iter_mut().enumerate() {
             let n1 = true_counts[cell];
-            *ones = binomial(&mut rng, n1, self.ue.p1())
-                + binomial(&mut rng, n - n1, self.ue.p0());
+            *ones = binomial(&mut rng, n1, self.ue.p1()) + binomial(&mut rng, n - n1, self.ue.p0());
         }
         agg.finish()
     }

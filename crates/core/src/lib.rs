@@ -42,9 +42,7 @@ mod marg_rr;
 mod personalized;
 mod runner;
 
-pub use categorical::{
-    CatMargPs, CatMargPsAggregator, CatMargPsReport, CatMarginalSetEstimate,
-};
+pub use categorical::{CatMargPs, CatMargPsAggregator, CatMargPsReport, CatMarginalSetEstimate};
 pub use estimate::{
     clamp_normalize, exact_hadamard_estimate, mean_kway_tvd, Estimate, FullDistributionEstimate,
     HadamardEstimate, MarginalEstimator, MarginalSetEstimate,
@@ -57,7 +55,7 @@ pub use marg_ht::{MargHt, MargHtAggregator, MargHtReport};
 pub use marg_ps::{MargPs, MargPsAggregator, MargPsReport};
 pub use marg_rr::{MargRr, MargRrAggregator, MargRrReport};
 pub use personalized::{PersonalizedAggregator, PersonalizedInpHt, PersonalizedReport};
-pub use runner::run_population;
+pub use runner::{run_population, run_population_sharded, user_rng};
 
 use ldp_mechanisms::theory::MethodBound;
 
@@ -188,20 +186,45 @@ impl Mechanism {
         }
     }
 
-    /// Run the full collect-and-aggregate pipeline over a population of
-    /// records (one per user), using `seed` for all client randomness.
+    /// Run the full collect-and-aggregate pipeline serially over a
+    /// population of records (one per user), using `seed` for all client
+    /// randomness.
     ///
-    /// `InpRr` uses the exact-in-distribution aggregate simulation (see
-    /// `DESIGN.md` §2); all other mechanisms run the faithful per-user
-    /// client protocol, sharded across threads.
+    /// `InpRr` uses the exact-in-distribution aggregate simulation; all
+    /// other mechanisms run the faithful per-user client protocol,
+    /// sharded across the available cores. Because the seed schedule is
+    /// per-user (see [`user_rng`]) and aggregator merges are exact, the
+    /// result is bit-identical to `run_sharded(rows, seed, 1)` — the
+    /// serial reference — and to every other shard count.
     #[must_use]
     pub fn run(&self, rows: &[u64], seed: u64) -> Estimate {
+        // Sharding costs one aggregator per shard; skip it for
+        // populations too small to amortize that.
+        let shards = if rows.len() < 4096 {
+            1
+        } else {
+            rayon::current_num_threads()
+        };
+        self.run_sharded(rows, seed, shards)
+    }
+
+    /// Run the same pipeline with the population partitioned into
+    /// `shards` contiguous chunks executed in parallel; per-shard
+    /// aggregators are `merge`d in shard order.
+    ///
+    /// Bit-identical to [`Mechanism::run`] for every `shards` value.
+    #[must_use]
+    pub fn run_sharded(&self, rows: &[u64], seed: u64, shards: usize) -> Estimate {
         match self {
+            // The aggregate simulation draws one multinomial per input
+            // cell rather than one report per user, so it is already
+            // O(2^d) not O(n); sharding does not apply.
             Mechanism::InpRr(m) => Estimate::Full(m.run_fast(rows, seed)),
             Mechanism::InpPs(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(m.encode(row, rng)),
                     InpPsAggregator::merge,
@@ -209,9 +232,10 @@ impl Mechanism {
                 Estimate::Full(agg.finish())
             }
             Mechanism::InpHt(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(m.encode(row, rng)),
                     InpHtAggregator::merge,
@@ -219,9 +243,10 @@ impl Mechanism {
                 Estimate::Hadamard(agg.finish())
             }
             Mechanism::MargRr(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(&m.encode(row, rng)),
                     MargRrAggregator::merge,
@@ -229,9 +254,10 @@ impl Mechanism {
                 Estimate::MarginalSet(agg.finish())
             }
             Mechanism::MargPs(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(m.encode(row, rng)),
                     MargPsAggregator::merge,
@@ -239,9 +265,10 @@ impl Mechanism {
                 Estimate::MarginalSet(agg.finish())
             }
             Mechanism::MargHt(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(m.encode(row, rng)),
                     MargHtAggregator::merge,
@@ -249,9 +276,10 @@ impl Mechanism {
                 Estimate::MarginalSet(agg.finish())
             }
             Mechanism::InpEm(m) => {
-                let agg = run_population(
+                let agg = run_population_sharded(
                     rows,
                     seed,
+                    shards,
                     || m.aggregator(),
                     |row, rng, agg| agg.absorb(m.encode(row, rng)),
                     InpEmAggregator::merge,

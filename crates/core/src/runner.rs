@@ -1,67 +1,100 @@
-//! Parallel simulation of a user population.
+//! Deterministic (and optionally sharded) simulation of a user population.
 //!
 //! Each user runs their client protocol independently, so the population
-//! loop shards cleanly: every thread owns a private aggregator and a
-//! deterministically-seeded RNG, and partial aggregators are merged at the
-//! end. With a fixed `seed` the result is reproducible regardless of how
-//! work is scheduled (shard boundaries are deterministic).
+//! loop shards cleanly: the server-side aggregators are built for exactly
+//! this (`absorb` per report, `merge` across shards — the merge-then-
+//! estimate shape of composite streaming sketches). The key design point
+//! is the **seed schedule**: every user `u` draws from a private RNG
+//! seeded as a function of `(seed, u)` only, so the randomness a user
+//! consumes is independent of how the population is partitioned. Shards
+//! are contiguous chunks merged in index order and every aggregator's
+//! state is exact (integer counts or report lists), hence
+//! [`run_population_sharded`] is **bit-identical** to the serial
+//! [`run_population`] for *any* shard count.
 
 use ldp_sampling::hash::splitmix64;
 use rand::{rngs::SmallRng, SeedableRng};
+use rayon::prelude::*;
 
-/// Run a client protocol over a population of records, sharded across
-/// available cores.
+/// The private RNG of user `user` under population seed `seed`.
 ///
-/// * `make_agg` — construct an empty aggregator (one per shard);
+/// Distinct users get decorrelated SplitMix64-whitened seeds; the
+/// golden-ratio multiply keeps nearby user indices far apart in seed
+/// space before whitening.
+#[inline]
+#[must_use]
+pub fn user_rng(seed: u64, user: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Run a client protocol serially over a population of records.
+///
+/// * `make_agg` — construct an empty aggregator;
 /// * `step` — encode one user's record and absorb the report;
-/// * `merge` — fold one shard's aggregator into another.
+/// * `merge` — fold one shard's aggregator into another (unused in the
+///   serial path, accepted so both runners share a signature).
+///
+/// This is the reference semantics: [`run_population_sharded`] produces
+/// the same aggregator state for every shard count.
 pub fn run_population<A, F, G, M>(rows: &[u64], seed: u64, make_agg: F, step: G, merge: M) -> A
 where
     A: Send,
-    F: Fn() -> A + Sync,
-    G: Fn(u64, &mut SmallRng, &mut A) + Sync,
+    F: Fn() -> A + Sync + Send,
+    G: Fn(u64, &mut SmallRng, &mut A) + Sync + Send,
     M: Fn(&mut A, A),
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(rows.len().max(1));
-    if threads <= 1 || rows.len() < 4096 {
+    run_population_sharded(rows, seed, 1, make_agg, step, merge)
+}
+
+/// Run a client protocol over a population of records split into
+/// `shards` contiguous chunks executed in parallel (via the rayon
+/// work-queue), then merged in shard order.
+///
+/// Because the seed schedule is per-user (see [`user_rng`]) and every
+/// aggregator merge is exact, the result is bit-identical to the serial
+/// [`run_population`] regardless of `shards` or thread scheduling.
+pub fn run_population_sharded<A, F, G, M>(
+    rows: &[u64],
+    seed: u64,
+    shards: usize,
+    make_agg: F,
+    step: G,
+    merge: M,
+) -> A
+where
+    A: Send,
+    F: Fn() -> A + Sync + Send,
+    G: Fn(u64, &mut SmallRng, &mut A) + Sync + Send,
+    M: Fn(&mut A, A),
+{
+    let shards = shards.clamp(1, rows.len().max(1));
+
+    let run_shard = |first_user: usize, shard_rows: &[u64]| {
         let mut agg = make_agg();
-        let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
-        for &row in rows {
+        for (offset, &row) in shard_rows.iter().enumerate() {
+            let mut rng = user_rng(seed, (first_user + offset) as u64);
             step(row, &mut rng, &mut agg);
         }
-        return agg;
+        agg
+    };
+
+    if shards <= 1 {
+        return run_shard(0, rows);
     }
 
-    let chunk = rows.len().div_ceil(threads);
-    let mut parts: Vec<A> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rows
-            .chunks(chunk)
-            .enumerate()
-            .map(|(shard, shard_rows)| {
-                let step = &step;
-                let make_agg = &make_agg;
-                scope.spawn(move |_| {
-                    let mut agg = make_agg();
-                    // Per-shard deterministic stream independent of the
-                    // thread count actually used at runtime is not needed;
-                    // determinism holds for a fixed machine configuration.
-                    let mut rng =
-                        SmallRng::seed_from_u64(splitmix64(seed ^ (shard as u64) << 32));
-                    for &row in shard_rows {
-                        step(row, &mut rng, &mut agg);
-                    }
-                    agg
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("population worker panicked");
+    let chunk = rows.len().div_ceil(shards);
+    let tasks: Vec<(usize, &[u64])> = rows
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, shard_rows)| (i * chunk, shard_rows))
+        .collect();
+    let parts: Vec<A> = tasks
+        .into_par_iter()
+        .map(|(first_user, shard_rows)| run_shard(first_user, shard_rows))
+        .collect();
 
-    let mut acc = parts.remove(0);
+    let mut parts = parts.into_iter();
+    let mut acc = parts.next().unwrap_or_else(&make_agg);
     for part in parts {
         merge(&mut acc, part);
     }
@@ -72,12 +105,11 @@ where
 mod tests {
     use super::*;
 
-    #[test]
-    fn counts_every_row_once() {
-        let rows: Vec<u64> = (0..100_000).map(|i| i % 7).collect();
-        let agg = run_population(
-            &rows,
-            1,
+    fn histogram(rows: &[u64], seed: u64, shards: usize) -> Vec<u64> {
+        run_population_sharded(
+            rows,
+            seed,
+            shards,
             || vec![0u64; 7],
             |row, _rng, agg| agg[row as usize] += 1,
             |a, b| {
@@ -85,9 +117,18 @@ mod tests {
                     *x += y;
                 }
             },
-        );
+        )
+    }
+
+    #[test]
+    fn counts_every_row_once() {
+        let rows: Vec<u64> = (0..100_000).map(|i| i % 7).collect();
+        let agg = histogram(&rows, 1, 8);
         assert_eq!(agg.iter().sum::<u64>(), 100_000);
-        for (v, expect) in agg.iter().zip([14286u64, 14286, 14286, 14286, 14286, 14285, 14285]) {
+        for (v, expect) in agg
+            .iter()
+            .zip([14286u64, 14286, 14286, 14286, 14286, 14285, 14285])
+        {
             assert_eq!(*v, expect);
         }
     }
@@ -111,16 +152,49 @@ mod tests {
         assert_ne!(run(7), run(8));
     }
 
+    /// The load-bearing property: randomness consumed per user does not
+    /// depend on the shard layout, so any shard count reproduces the
+    /// serial result exactly — even for an order-sensitive aggregator
+    /// (here: a Vec of (user, draw) pairs concatenated across shards).
     #[test]
-    fn small_populations_run_inline() {
+    fn sharded_is_bit_identical_to_serial() {
+        let rows: Vec<u64> = (0..10_000).map(|i| (i * 31) % 64).collect();
+        let trace = |shards: usize| {
+            run_population_sharded(
+                &rows,
+                99,
+                shards,
+                Vec::new,
+                |row, rng, acc: &mut Vec<(u64, u64)>| {
+                    use rand::Rng;
+                    acc.push((row, rng.gen::<u64>()));
+                },
+                |a, mut b| a.append(&mut b),
+            )
+        };
+        let serial = trace(1);
+        for shards in [2usize, 3, 7, 8, 64, 1000, 10_000] {
+            assert_eq!(trace(shards), serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_larger_than_population() {
         let rows = [1u64, 2, 3];
-        let agg = run_population(
+        let agg = run_population_sharded(
             &rows,
             0,
+            128,
             || 0u64,
             |row, _rng, acc| *acc += row,
             |a, b| *a += b,
         );
         assert_eq!(agg, 6);
+    }
+
+    #[test]
+    fn empty_population() {
+        let agg = run_population(&[], 0, || 41u64, |_, _, acc| *acc += 1, |a, b| *a += b);
+        assert_eq!(agg, 41);
     }
 }

@@ -248,7 +248,10 @@ mod tests {
             for b in 0..2 {
                 let expect = dists[0][a] * dists[1][b];
                 let got = cat[a + 3 * b];
-                assert!((got - expect).abs() < 0.01, "cell ({a},{b}): {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 0.01,
+                    "cell ({a},{b}): {got} vs {expect}"
+                );
             }
         }
         // No mass lost: codes 3 (invalid for arity 3) never generated.

@@ -53,7 +53,11 @@ impl BinaryDataset {
     /// Materializes `2^d` cells — intended for `d ≲ 26`.
     #[must_use]
     pub fn full_distribution(&self) -> Vec<f64> {
-        assert!(self.d <= 26, "full distribution too large for d = {}", self.d);
+        assert!(
+            self.d <= 26,
+            "full distribution too large for d = {}",
+            self.d
+        );
         assert!(!self.rows.is_empty(), "empty dataset has no distribution");
         let mut counts = vec![0.0f64; 1usize << self.d];
         for &r in &self.rows {
@@ -89,11 +93,7 @@ impl BinaryDataset {
     #[must_use]
     pub fn attribute_mean(&self, attr: u32) -> f64 {
         assert!(attr < self.d);
-        let ones = self
-            .rows
-            .iter()
-            .filter(|&&r| (r >> attr) & 1 == 1)
-            .count();
+        let ones = self.rows.iter().filter(|&&r| (r >> attr) & 1 == 1).count();
         ones as f64 / self.rows.len() as f64
     }
 
@@ -126,10 +126,7 @@ impl BinaryDataset {
                 out
             })
             .collect();
-        BinaryDataset {
-            d: target_d,
-            rows,
-        }
+        BinaryDataset { d: target_d, rows }
     }
 
     /// Project the dataset onto a subset of attributes (re-indexed to the
@@ -157,7 +154,10 @@ mod tests {
 
     fn toy() -> BinaryDataset {
         // d = 3; rows chosen so every marginal is easy to verify.
-        BinaryDataset::new(3, vec![0b000, 0b001, 0b001, 0b111, 0b101, 0b101, 0b011, 0b000])
+        BinaryDataset::new(
+            3,
+            vec![0b000, 0b001, 0b001, 0b111, 0b101, 0b101, 0b011, 0b000],
+        )
     }
 
     #[test]

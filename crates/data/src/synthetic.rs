@@ -7,11 +7,7 @@ use rand::Rng;
 
 /// A dataset whose attributes are independent Bernoulli variables with the
 /// given means.
-pub fn product_bernoulli<R: Rng + ?Sized>(
-    probs: &[f64],
-    n: usize,
-    rng: &mut R,
-) -> BinaryDataset {
+pub fn product_bernoulli<R: Rng + ?Sized>(probs: &[f64], n: usize, rng: &mut R) -> BinaryDataset {
     assert!(!probs.is_empty() && probs.len() <= 63);
     assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
     let d = probs.len() as u32;
@@ -32,7 +28,11 @@ pub fn product_bernoulli<R: Rng + ?Sized>(
 /// A uniform dataset over `{0,1}^d`.
 pub fn uniform<R: Rng + ?Sized>(d: u32, n: usize, rng: &mut R) -> BinaryDataset {
     assert!(d <= 63);
-    let mask = if d == 63 { (1u64 << 63) - 1 } else { (1u64 << d) - 1 };
+    let mask = if d == 63 {
+        (1u64 << 63) - 1
+    } else {
+        (1u64 << d) - 1
+    };
     let rows = (0..n).map(|_| rng.gen::<u64>() & mask).collect();
     BinaryDataset::new(d, rows)
 }

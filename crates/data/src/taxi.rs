@@ -111,8 +111,7 @@ impl TaxiGenerator {
             (1u64, 1u64)
         } else if u < MPICK_MDROP_JOINT[1][1] + MPICK_MDROP_JOINT[1][0] {
             (1, 0)
-        } else if u < MPICK_MDROP_JOINT[1][1] + MPICK_MDROP_JOINT[1][0] + MPICK_MDROP_JOINT[0][1]
-        {
+        } else if u < MPICK_MDROP_JOINT[1][1] + MPICK_MDROP_JOINT[1][0] + MPICK_MDROP_JOINT[0][1] {
             (0, 1)
         } else {
             (0, 0)

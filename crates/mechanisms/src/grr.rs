@@ -90,11 +90,7 @@ impl GeneralizedRandomizedResponse {
         let m = self.m as usize;
         let q = self.lie_probability();
         let probs = (0..m)
-            .map(|x| {
-                (0..m)
-                    .map(|y| if x == y { self.ps } else { q })
-                    .collect()
-            })
+            .map(|x| (0..m).map(|y| if x == y { self.ps } else { q }).collect())
             .collect();
         Channel::new(probs)
     }

@@ -150,13 +150,9 @@ impl MethodBound {
             // Thm 4.4: 2^{d + k/2}.
             MethodBound::InpPs => (2.0f64).powf(d as f64 + k as f64 / 2.0),
             // Thm 4.5: 2^{k/2} √T.
-            MethodBound::InpHt => {
-                two_k.sqrt() * (coefficient_count(d, k) as f64).sqrt()
-            }
+            MethodBound::InpHt => two_k.sqrt() * (coefficient_count(d, k) as f64).sqrt(),
             // §4.3: 2^k √C(d,k).
-            MethodBound::MargRr => {
-                two_k * (ldp_binomial(u64::from(d), u64::from(k)) as f64).sqrt()
-            }
+            MethodBound::MargRr => two_k * (ldp_binomial(u64::from(d), u64::from(k)) as f64).sqrt(),
             // Lemma 4.6: 2^{3k/2} √C(d,k).
             MethodBound::MargPs | MethodBound::MargHt => {
                 two_k.powf(1.5) * (ldp_binomial(u64::from(d), u64::from(k)) as f64).sqrt()

@@ -49,7 +49,10 @@ impl HadamardCms {
     pub fn new(d: u32, eps: f64, g: usize, w: usize, family_seed: u64) -> Self {
         check_epsilon(eps);
         assert!((1..=255).contains(&g), "1 ≤ g ≤ 255 hash rows");
-        assert!(w.is_power_of_two() && w >= 2, "width must be a power of two");
+        assert!(
+            w.is_power_of_two() && w >= 2,
+            "width must be a power of two"
+        );
         let hashes = (0..g)
             .map(|l| PolyHash::from_seed(splitmix64(family_seed ^ (l as u64) << 17), 3, w as u64))
             .collect();

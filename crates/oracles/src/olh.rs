@@ -155,9 +155,7 @@ impl OlhOracle {
     pub fn estimate_all(&self, max_operations: u64) -> OlhDecode {
         let cells = 1u64 << self.config.d;
         let per_cell = self.reports.len() as u64;
-        let affordable = max_operations
-            .checked_div(per_cell)
-            .unwrap_or(cells);
+        let affordable = max_operations.checked_div(per_cell).unwrap_or(cells);
         if affordable < cells {
             return OlhDecode::TimedOut {
                 cells_done: affordable as usize,
@@ -218,7 +216,10 @@ mod tests {
         let oracle = run(4, 3f64.ln(), &rows, 0);
         let est = oracle.estimate(5);
         assert!((est - 1.0).abs() < 0.05, "heavy cell {est}");
-        let others: f64 = (0..16).filter(|&v| v != 5).map(|v| oracle.estimate(v)).sum();
+        let others: f64 = (0..16)
+            .filter(|&v| v != 5)
+            .map(|v| oracle.estimate(v))
+            .sum();
         assert!(others.abs() < 0.25, "light cells total {others}");
     }
 

@@ -285,7 +285,10 @@ mod tests {
         let mut obs = [0u64; 5];
         for _ in 0..trials {
             let x = binomial(&mut rng, n, p) as f64;
-            let bin = edges.windows(2).position(|w| x >= w[0] && x < w[1]).unwrap();
+            let bin = edges
+                .windows(2)
+                .position(|w| x >= w[0] && x < w[1])
+                .unwrap();
             obs[bin] += 1;
         }
         // Expected from exact pmf.
@@ -295,13 +298,15 @@ mod tests {
             if k > 0 {
                 lognum += ((n - k + 1) as f64).ln() - (k as f64).ln();
             }
-            logpmf[k as usize] =
-                lognum + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+            logpmf[k as usize] = lognum + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
         }
         let mut expect = [0.0f64; 5];
         for k in 0..=n as usize {
             let x = k as f64;
-            let bin = edges.windows(2).position(|w| x >= w[0] && x < w[1]).unwrap();
+            let bin = edges
+                .windows(2)
+                .position(|w| x >= w[0] && x < w[1])
+                .unwrap();
             expect[bin] += logpmf[k].exp();
         }
         let chi2: f64 = (0..5)

@@ -104,10 +104,7 @@ impl CategoricalDomain {
     /// The sub-domain over the attributes selected by `subset`.
     #[must_use]
     pub fn subdomain(&self, subset: Mask) -> CategoricalDomain {
-        let sub: Vec<usize> = subset
-            .attrs()
-            .map(|a| self.arities[a as usize])
-            .collect();
+        let sub: Vec<usize> = subset.attrs().map(|a| self.arities[a as usize]).collect();
         CategoricalDomain::new(&sub)
     }
 
@@ -359,8 +356,7 @@ mod tests {
         for bits in 0u64..16 {
             let beta = Mask::new(bits);
             let via_es = es.marginal(beta);
-            let via_ht =
-                crate::marginal_from_coefficients(beta, |a| coeffs[a.bits() as usize]);
+            let via_ht = crate::marginal_from_coefficients(beta, |a| coeffs[a.bits() as usize]);
             for (a, b) in via_es.iter().zip(&via_ht) {
                 assert!((a - b).abs() < 1e-9);
             }

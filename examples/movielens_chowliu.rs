@@ -21,21 +21,26 @@ fn main() {
 
     // Non-private optimum.
     let best = maximum_spanning_tree(d, true_mi);
-    println!("non-private Chow-Liu tree (total MI {:.4} nats):", total_weight(&best));
+    println!(
+        "non-private Chow-Liu tree (total MI {:.4} nats):",
+        total_weight(&best)
+    );
     for e in &best {
         println!("  genre{} -- genre{}  (MI {:.4})", e.a, e.b, e.weight);
     }
 
     // Private tree per ε: learn the topology from LDP marginals, score
     // the chosen edges by TRUE mutual information (Figure 8's metric).
-    println!("\n{:>5} {:>18} {:>18}", "eps", "InpHT total MI", "MargPS total MI");
+    println!(
+        "\n{:>5} {:>18} {:>18}",
+        "eps", "InpHT total MI", "MargPS total MI"
+    );
     for eps in [0.4, 0.8, 1.2] {
         let mut scores = Vec::new();
         for kind in [MechanismKind::InpHt, MechanismKind::MargPs] {
             let est = kind.build(d, 2, eps).run(data.rows(), 5);
-            let private_mi = |a: u32, b: u32| {
-                mutual_information_2x2(&est.marginal(Mask::from_attrs(&[a, b])))
-            };
+            let private_mi =
+                |a: u32, b: u32| mutual_information_2x2(&est.marginal(Mask::from_attrs(&[a, b])));
             let tree = maximum_spanning_tree(d, private_mi);
             scores.push(total_weight(&reweigh(&tree, true_mi)));
         }

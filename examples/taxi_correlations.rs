@@ -17,7 +17,9 @@ fn main() {
     let n = data.n() as f64;
 
     // One LDP collection answers every pair.
-    let estimate = MechanismKind::InpHt.build(data.d(), 2, 1.1).run(data.rows(), 9);
+    let estimate = MechanismKind::InpHt
+        .build(data.d(), 2, 1.1)
+        .run(data.rows(), 9);
 
     let critical = chi2_critical(0.05, 1);
     // Privacy noise inflates the statistic (paper footnote 3); the
@@ -50,8 +52,10 @@ fn main() {
         };
         println!(
             "({:>10}, {:<10})  {:>12.1} {:>13.1}  {verdict}",
-            ATTRIBUTE_NAMES[a as usize], ATTRIBUTE_NAMES[b as usize],
-            exact.statistic, private.statistic
+            ATTRIBUTE_NAMES[a as usize],
+            ATTRIBUTE_NAMES[b as usize],
+            exact.statistic,
+            private.statistic
         );
     }
     println!(

@@ -46,8 +46,8 @@
 //! | [`ldp_analysis`] | χ² testing, mutual information, Chow–Liu trees |
 //!
 //! The experiment harness regenerating every table and figure lives in
-//! the (unexported) `ldp-bench` crate — see `DESIGN.md` and
-//! `EXPERIMENTS.md`.
+//! the (unexported) `ldp_bench` crate — see the top-level `README.md`
+//! for the experiment index and how to run each binary.
 
 pub use ldp_analysis as analysis;
 pub use ldp_bits as bits;

@@ -47,7 +47,11 @@ fn private_chi2_separates_dependent_from_independent_pairs() {
     // Dependent pairs must always reject.
     for (a, b) in dependent {
         let r = chi2_independence_2x2(&est.marginal(Mask::from_attrs(&[a, b])), n);
-        assert!(r.rejects_independence(0.05), "({a},{b}) stat {}", r.statistic);
+        assert!(
+            r.rejects_independence(0.05),
+            "({a},{b}) stat {}",
+            r.statistic
+        );
     }
 }
 
@@ -103,9 +107,13 @@ fn margps_is_weaker_on_borderline_pairs() {
     let mut ht_stats = Vec::new();
     let mut ps_stats = Vec::new();
     for r in 0..5u64 {
-        let ht = MechanismKind::InpHt.build(8, 2, 1.1).run(data.rows(), 100 + r);
+        let ht = MechanismKind::InpHt
+            .build(8, 2, 1.1)
+            .run(data.rows(), 100 + r);
         ht_stats.push(chi2_independence_2x2(&ht.marginal(beta), n).statistic);
-        let ps = MechanismKind::MargPs.build(8, 2, 1.1).run(data.rows(), 200 + r);
+        let ps = MechanismKind::MargPs
+            .build(8, 2, 1.1)
+            .run(data.rows(), 200 + r);
         ps_stats.push(chi2_independence_2x2(&ps.marginal(beta), n).statistic);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

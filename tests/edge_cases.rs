@@ -29,7 +29,11 @@ fn k_equals_d() {
     // The (unique) d-way marginal is the full distribution.
     let rows: Vec<u64> = (0..30_000).map(|i| (i % 7) as u64 % 8).collect();
     let data = BinaryDataset::new(3, rows);
-    for kind in [MechanismKind::InpHt, MechanismKind::MargPs, MechanismKind::MargHt] {
+    for kind in [
+        MechanismKind::InpHt,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+    ] {
         let est = kind.build(3, 3, 2.0).run(data.rows(), 2);
         let m = est.marginal(Mask::full(3));
         let truth = data.true_marginal(Mask::full(3));
@@ -70,7 +74,9 @@ fn population_smaller_than_coefficient_set() {
 
 #[test]
 fn extreme_epsilons() {
-    let rows: Vec<u64> = (0..40_000).map(|i| u64::from(i % 3 == 0) | (u64::from(i % 5 == 0) << 1)).collect();
+    let rows: Vec<u64> = (0..40_000)
+        .map(|i| u64::from(i % 3 == 0) | (u64::from(i % 5 == 0) << 1))
+        .collect();
     let data = BinaryDataset::new(2, rows);
     // Very strict: estimates exist and are finite (accuracy is poor).
     let strict = MechanismKind::InpHt.build(2, 2, 0.01).run(data.rows(), 5);

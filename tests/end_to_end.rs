@@ -62,10 +62,18 @@ fn inpht_dominates_at_moderate_dimension() {
         mean_kway_tvd(&est, &data, 2)
     };
     let ht = tvd(MechanismKind::InpHt, 10);
-    for kind in [MechanismKind::InpPs, MechanismKind::MargRr, MechanismKind::InpEm] {
+    for kind in [
+        MechanismKind::InpPs,
+        MechanismKind::MargRr,
+        MechanismKind::InpEm,
+    ] {
         assert!(ht < tvd(kind, 11), "InpHT {ht} should beat {}", kind.name());
     }
-    for kind in [MechanismKind::InpRr, MechanismKind::MargPs, MechanismKind::MargHt] {
+    for kind in [
+        MechanismKind::InpRr,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+    ] {
         assert!(
             ht < tvd(kind, 12) * 1.6,
             "InpHT {ht} should be near-best vs {}",
@@ -78,7 +86,11 @@ fn inpht_dominates_at_moderate_dimension() {
 fn error_decreases_with_population_for_scalable_methods() {
     let big = movielens(8, 131_072, 3);
     let small = BinaryDataset::new(8, big.rows()[..8_192].to_vec());
-    for kind in [MechanismKind::InpHt, MechanismKind::MargPs, MechanismKind::MargHt] {
+    for kind in [
+        MechanismKind::InpHt,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+    ] {
         let mech = kind.build(8, 2, 1.1);
         let tvd_small = mean_kway_tvd(&mech.run(small.rows(), 4), &small, 2);
         let tvd_big = mean_kway_tvd(&mech.run(big.rows(), 4), &big, 2);

@@ -15,7 +15,10 @@ fn inp_ps_channel_is_eps_ldp() {
     // InpPS = GRR over 2^d values.
     for eps in EPS_GRID {
         let grr = GeneralizedRandomizedResponse::for_epsilon(eps, 1 << 4);
-        assert!((grr.channel().ldp_epsilon() - eps).abs() < 1e-9, "eps={eps}");
+        assert!(
+            (grr.channel().ldp_epsilon() - eps).abs() < 1e-9,
+            "eps={eps}"
+        );
     }
 }
 
@@ -42,6 +45,7 @@ fn inp_ht_channel_is_at_most_eps_ldp() {
         let rr = BinaryRandomizedResponse::for_epsilon(eps);
         let p = rr.keep_probability();
         let t = 3usize; // three candidate coefficients
+
         // Input A: signs (+,+,−); input B: signs (−,+,−) — worst case is
         // any coefficient where they differ.
         let signs_a = [1.0, 1.0, -1.0];

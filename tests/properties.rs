@@ -108,7 +108,9 @@ proptest! {
 fn pipeline_estimates_are_unbiased() {
     let data = {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
-        TaxiGenerator::default().generate(4_000, &mut rng).project(Mask::full(4))
+        TaxiGenerator::default()
+            .generate(4_000, &mut rng)
+            .project(Mask::full(4))
     };
     let beta = Mask::from_attrs(&[0, 2]);
     let truth = data.true_marginal(beta);

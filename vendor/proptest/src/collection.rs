@@ -1,0 +1,46 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::ops::Range;
+
+/// Anything usable as the size argument of [`vec`]: a fixed length or a
+/// half-open range of lengths.
+pub trait SizeRange {
+    /// Draw a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`, with length
+/// drawn from `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the slice of proptest it uses as a path dependency:
+//! the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], [`strategy::Strategy`] with `prop_map`, `any::<T>()`,
+//! numeric-range strategies, and [`collection::vec`].
+//!
+//! Differences from upstream: cases are generated from a fixed seed
+//! derived from the test's module path (fully deterministic, no
+//! `PROPTEST_CASES` env handling), and failing cases are **not shrunk**
+//! — the failure report contains the case index and seed instead.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, like `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed_base = $crate::test_runner::fnv1a(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                while ran < config.cases && attempts < config.cases * 16 {
+                    let case = attempts;
+                    attempts += 1;
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed_base, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => ran += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n(test {}, case {} of {}, seed {:#x})",
+                                msg,
+                                stringify!($name),
+                                case,
+                                config.cases,
+                                seed_base,
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    ran >= config.cases,
+                    "proptest: too many rejected cases in {} ({} accepted of {} attempts)",
+                    stringify!($name),
+                    ran,
+                    attempts,
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current case (with an optional formatted message) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} != {} (both: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in any::<u64>(), small in 1u32..10, f in 0.25f64..0.75) {
+            let _ = x;
+            prop_assert!((1..10).contains(&small));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0u64..100, 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_discards(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Doc comments and configs both parse.
+        #[test]
+        fn configured(x in any::<u64>().prop_map(|v| v & 0xFF)) {
+            prop_assert!(x <= 0xFF);
+        }
+    }
+
+    #[test]
+    fn fixed_len_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case(1, 0);
+        let v = crate::collection::vec(0.0f64..1.0, 16).sample(&mut rng);
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

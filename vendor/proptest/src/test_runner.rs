@@ -1,0 +1,72 @@
+//! Deterministic case generation and failure plumbing.
+
+pub use rand::rngs::StdRng as TestRngInner;
+use rand::SeedableRng;
+
+/// Per-test configuration (only the `cases` knob is supported).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 because this shim does not
+    /// shrink, so each suite run should stay fast enough to re-run under
+    /// different seeds instead.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed: the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: the case is discarded.
+    Reject(&'static str),
+}
+
+/// The RNG handed to strategies: one independent stream per case.
+pub struct TestRng(TestRngInner);
+
+impl TestRng {
+    /// Build the deterministic RNG for `case` of the test whose
+    /// module-path hash is `seed_base`.
+    #[must_use]
+    pub fn for_case(seed_base: u64, case: u32) -> Self {
+        TestRng(TestRngInner::seed_from_u64(
+            seed_base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of a test path, the per-test seed base.
+#[must_use]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}

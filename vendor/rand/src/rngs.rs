@@ -1,0 +1,79 @@
+//! The two generators the workspace uses: [`StdRng`] and [`SmallRng`].
+//!
+//! Both are xoshiro256++ (Blackman & Vigna 2019) here — small, fast, and
+//! statistically solid for simulation. They are distinct types so code
+//! keeps the upstream `rand` distinction between the "cryptographic
+//! default" and the "small fast" generator, but this offline shim makes
+//! no cryptographic claim for either.
+
+use crate::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // The all-zero state is the one invalid xoshiro state.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! generator {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.next()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                $name(Xoshiro256::from_bytes(seed))
+            }
+        }
+    };
+}
+
+generator! {
+    /// The default generator (xoshiro256++ in this offline shim).
+    StdRng
+}
+generator! {
+    /// The small/fast generator (also xoshiro256++ here).
+    SmallRng
+}

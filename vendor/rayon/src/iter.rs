@@ -1,0 +1,165 @@
+//! Order-preserving parallel map/collect over owned items.
+//!
+//! Supports exactly the shape the workspace uses:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let doubled: Vec<u64> = vec![1u64, 2, 3].into_par_iter().map(|x| x * 2).collect();
+//! assert_eq!(doubled, [2, 4, 6]);
+//! ```
+//!
+//! Items are split into one contiguous chunk per worker thread and the
+//! output is reassembled in input order, so results are deterministic
+//! regardless of scheduling.
+
+use std::ops::Range;
+
+/// Conversion into a parallel iterator, like `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert `self` into a parallel iterator over owned items.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator over owned items.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consume the iterator into the vector of its items, in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Map every item through `f` in parallel (lazily; runs at `collect`).
+    fn map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+        U: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute and collect the results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection from a parallel iterator (implemented for `Vec`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection by consuming `iter`.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.into_items()
+    }
+}
+
+/// Parallel iterator over a `Vec`'s items.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn into_items(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Lazy parallel map; the threads run when it is collected.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, U> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> U + Sync + Send,
+    U: Send,
+{
+    type Item = U;
+
+    fn into_items(self) -> Vec<U> {
+        let items = self.base.into_items();
+        let f = &self.f;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = crate::current_num_threads().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let chunk = n.div_ceil(workers);
+        // Move each chunk of owned items into its worker; chunks come
+        // back indexed so the output is reassembled in input order.
+        let mut chunks: Vec<(usize, Vec<I::Item>)> = Vec::with_capacity(workers);
+        let mut items = items;
+        let mut index = 0usize;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            chunks.push((index, items));
+            items = rest;
+            index += 1;
+        }
+
+        let mut parts: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(i, chunk_items)| {
+                    scope.spawn(move || (i, chunk_items.into_iter().map(f).collect::<Vec<U>>()))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon parallel map worker panicked"))
+                .collect()
+        });
+        parts.sort_by_key(|(i, _)| *i);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut part) in parts.drain(..) {
+            out.append(&mut part);
+        }
+        out
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the slice of rayon it uses as a path dependency:
+//! [`join`], [`current_num_threads`], and an order-preserving
+//! `into_par_iter().map(..).collect::<Vec<_>>()` over vectors and
+//! `usize` ranges. Everything is real OS-thread parallelism via
+//! `std::thread::scope`; there is no work-stealing pool, so per-call
+//! spawn overhead is higher than upstream rayon but throughput for the
+//! coarse-grained sharding this workspace does is equivalent.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+
+/// The common traits, like `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use (the machine's
+/// available parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
