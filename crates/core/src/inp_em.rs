@@ -14,10 +14,12 @@
 //! "immediately terminates after a single step and outputs the prior".
 //! [`EmDiagnostics::failed_immediately`] captures exactly this (Table 3).
 
-use crate::{MarginalEstimator, MarginalSetEstimate};
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, MarginalEstimator, MarginalSetEstimate};
 use ldp_bits::{compress, masks_of_weight, Mask};
 use ldp_mechanisms::{budget::split_epsilon, BinaryRandomizedResponse};
 use rand::Rng;
+use std::collections::BTreeMap;
 
 /// Configuration of the `InpEM` mechanism.
 #[derive(Clone, Debug, PartialEq)]
@@ -81,43 +83,139 @@ impl InpEm {
     pub fn aggregator(&self) -> InpEmAggregator {
         InpEmAggregator {
             config: self.clone(),
-            reported: Vec::new(),
+            counts: BTreeMap::new(),
+            n: 0,
         }
     }
 }
 
-/// Aggregator for [`InpEm`]: the collected (perturbed) rows.
+/// Aggregator for [`InpEm`]: multiplicities of the collected (perturbed)
+/// rows.
+///
+/// EM decoding only ever looks at *how often* each perturbed row was
+/// reported, so the aggregator keeps a sorted count map instead of the
+/// raw report list: memory is bounded by the number of *distinct*
+/// reported rows (at most `min(N, 2^d)`), and the state — including its
+/// [`Accumulator::to_bytes`] form — is identical for every ingest order
+/// and shard partition.
 #[derive(Clone, Debug)]
 pub struct InpEmAggregator {
     config: InpEm,
-    reported: Vec<u64>,
+    counts: BTreeMap<u64, u64>,
+    n: u64,
 }
 
 impl InpEmAggregator {
     /// Absorb one reported row.
     #[inline]
     pub fn absorb(&mut self, report: u64) {
-        self.reported.push(report);
+        *self.counts.entry(report).or_insert(0) += 1;
+        self.n += 1;
     }
 
     /// Fold another shard's aggregator into this one.
-    pub fn merge(&mut self, mut other: InpEmAggregator) {
-        self.reported.append(&mut other.reported);
+    pub fn merge(&mut self, other: InpEmAggregator) {
+        for (row, count) in other.counts {
+            *self.counts.entry(row).or_insert(0) += count;
+        }
+        self.n += other.n;
     }
 
     /// Number of reports absorbed.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.reported.len()
+        self.n as usize
     }
 
-    /// Wrap the reports for on-demand EM decoding.
+    /// Wrap the report multiplicities for on-demand EM decoding.
     #[must_use]
     pub fn finish(self) -> EmEstimate {
         EmEstimate {
             config: self.config,
-            reported: self.reported,
+            counts: self.counts,
+            n: self.n,
         }
+    }
+}
+
+impl Accumulator for InpEmAggregator {
+    type Report = u64;
+    type Output = EmEstimate;
+
+    fn absorb(&mut self, report: &u64) {
+        InpEmAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        InpEmAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.n
+    }
+
+    fn finalize(self) -> EmEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::INP_EM);
+        w.put_u32(self.config.d);
+        w.put_f64(self.config.rr.keep_probability());
+        w.put_f64(self.config.omega);
+        w.put_u64(self.config.max_iters as u64);
+        w.put_u64(self.n);
+        w.put_u64(self.counts.len() as u64);
+        for (&row, &count) in &self.counts {
+            w.put_u64(row);
+            w.put_u64(count);
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::INP_EM)?;
+        let d = r.get_u32()?;
+        let p = r.get_f64()?;
+        let omega = r.get_f64()?;
+        let max_iters = r.get_u64()? as usize;
+        let n = r.get_u64()?;
+        let distinct = r.get_u64()? as usize;
+        let mut counts = BTreeMap::new();
+        let mut total = 0u64;
+        for _ in 0..distinct {
+            let row = r.get_u64()?;
+            let count = r.get_u64()?;
+            if counts.insert(row, count).is_some() {
+                return Err(WireError::Invalid("InpEM duplicate row key"));
+            }
+            total = total
+                .checked_add(count)
+                .ok_or(WireError::Invalid("InpEM count overflow"))?;
+        }
+        r.finish()?;
+        if !(1..=63).contains(&d) {
+            return Err(WireError::Invalid("InpEM dimension"));
+        }
+        if !(p > 0.5 && p < 1.0) {
+            return Err(WireError::Invalid("InpEM keep probability"));
+        }
+        if !(omega > 0.0) || max_iters == 0 {
+            return Err(WireError::Invalid("InpEM convergence parameters"));
+        }
+        if total != n {
+            return Err(WireError::Invalid("InpEM count total"));
+        }
+        Ok(InpEmAggregator {
+            config: InpEm {
+                d,
+                rr: BinaryRandomizedResponse::with_keep_probability(p),
+                omega,
+                max_iters,
+            },
+            counts,
+            n,
+        })
     }
 }
 
@@ -135,12 +233,13 @@ pub struct EmDiagnostics {
     pub failed_immediately: bool,
 }
 
-/// Estimate produced by `InpEM`: reported rows plus channel knowledge;
-/// every marginal query runs a fresh EM decode.
+/// Estimate produced by `InpEM`: reported-row multiplicities plus
+/// channel knowledge; every marginal query runs a fresh EM decode.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EmEstimate {
     config: InpEm,
-    reported: Vec<u64>,
+    counts: BTreeMap<u64, u64>,
+    n: u64,
 }
 
 impl EmEstimate {
@@ -151,16 +250,16 @@ impl EmEstimate {
             beta.is_subset_of(Mask::full(self.config.d)) && !beta.is_empty(),
             "invalid marginal mask"
         );
-        assert!(!self.reported.is_empty(), "no reports absorbed");
+        assert!(self.n > 0, "no reports absorbed");
         let k = beta.weight();
         let cells = 1usize << k;
 
         // Observed combination counts on β's attributes.
         let mut obs = vec![0.0f64; cells];
-        for &r in &self.reported {
-            obs[compress(r, beta.bits()) as usize] += 1.0;
+        for (&r, &count) in &self.counts {
+            obs[compress(r, beta.bits()) as usize] += count as f64;
         }
-        let n: f64 = self.reported.len() as f64;
+        let n: f64 = self.n as f64;
 
         // Channel by Hamming distance: P(y|x) = p^{k−h} (1−p)^{h},
         // h = |x ⊕ y|.
@@ -336,6 +435,25 @@ mod tests {
         let (set, failed) = est.decode_all_kway(2);
         assert_eq!(set.marginals().len(), 66);
         assert!(failed > 0, "expected some immediate failures at ε = 0.2");
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_counts() {
+        // A crafted blob whose per-row counts wrap u64 must come back as
+        // a WireError, not a panic or a state that defeats the n check.
+        use crate::wire::{tag, Writer};
+        let mut w = Writer::with_tag(tag::INP_EM);
+        w.put_u32(2);
+        w.put_f64(0.7);
+        w.put_f64(1e-5);
+        w.put_u64(100);
+        w.put_u64(5); // claimed n
+        w.put_u64(2); // distinct rows
+        w.put_u64(0);
+        w.put_u64(u64::MAX);
+        w.put_u64(1);
+        w.put_u64(6); // wraps to 5 if summed unchecked
+        assert!(<InpEmAggregator as crate::Accumulator>::from_bytes(&w.into_bytes()).is_err());
     }
 
     #[test]

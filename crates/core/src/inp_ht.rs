@@ -13,7 +13,8 @@
 //! `±1/(2p−1)` reports over the users who sampled it; reconstruct any
 //! k-way marginal from the 2^k relevant coefficients via Lemma 3.7.
 
-use crate::HadamardEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, HadamardEstimate};
 use ldp_bits::{pm_one, WeightRank};
 use ldp_mechanisms::BinaryRandomizedResponse;
 use rand::Rng;
@@ -148,6 +149,63 @@ impl InpHtAggregator {
             })
             .collect();
         HadamardEstimate::new(self.indexer, coeffs)
+    }
+}
+
+impl Accumulator for InpHtAggregator {
+    type Report = InpHtReport;
+    type Output = HadamardEstimate;
+
+    fn absorb(&mut self, report: &InpHtReport) {
+        InpHtAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        InpHtAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn finalize(self) -> HadamardEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::INP_HT);
+        w.put_u32(self.indexer.d());
+        w.put_u32(self.indexer.k());
+        w.put_f64(self.rr.keep_probability());
+        w.put_i64_slice(&self.sums);
+        w.put_u64_slice(&self.counts);
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::INP_HT)?;
+        let d = r.get_u32()?;
+        let k = r.get_u32()?;
+        let p = r.get_f64()?;
+        let sums = r.get_i64_vec()?;
+        let counts = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=63).contains(&d) || k < 1 || k > d {
+            return Err(WireError::Invalid("InpHT dimensions"));
+        }
+        if !(p > 0.5 && p < 1.0) {
+            return Err(WireError::Invalid("InpHT keep probability"));
+        }
+        let indexer = WeightRank::new(d, k);
+        if sums.len() != indexer.len() || counts.len() != indexer.len() {
+            return Err(WireError::Invalid("InpHT coefficient-table length"));
+        }
+        Ok(InpHtAggregator {
+            rr: BinaryRandomizedResponse::with_keep_probability(p),
+            indexer,
+            sums,
+            counts,
+        })
     }
 }
 

@@ -8,7 +8,8 @@
 //! `Õ(2^{d + k/2} / (ε√N))` — the `2^d` factor makes this method decay
 //! rapidly with dimensionality, which Figure 4 confirms.
 
-use crate::FullDistributionEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, FullDistributionEstimate};
 use ldp_mechanisms::GeneralizedRandomizedResponse;
 use rand::Rng;
 
@@ -97,6 +98,58 @@ impl InpPsAggregator {
         assert!(n > 0, "no reports absorbed");
         let observed: Vec<f64> = self.counts.iter().map(|&c| c as f64 / n as f64).collect();
         FullDistributionEstimate::new(self.d, self.grr.unbias_histogram(&observed))
+    }
+}
+
+impl Accumulator for InpPsAggregator {
+    type Report = u64;
+    type Output = FullDistributionEstimate;
+
+    fn absorb(&mut self, report: &u64) {
+        InpPsAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        InpPsAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn finalize(self) -> FullDistributionEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::INP_PS);
+        w.put_u32(self.d);
+        w.put_f64(self.grr.truth_probability());
+        w.put_u64_slice(&self.counts);
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::INP_PS)?;
+        let d = r.get_u32()?;
+        let ps = r.get_f64()?;
+        let counts = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=26).contains(&d) {
+            return Err(WireError::Invalid("InpPS dimension"));
+        }
+        let m = 1u64 << d;
+        if !(ps > 1.0 / m as f64 && ps < 1.0) {
+            return Err(WireError::Invalid("InpPS truth probability"));
+        }
+        if counts.len() != 1usize << d {
+            return Err(WireError::Invalid("InpPS histogram length"));
+        }
+        Ok(InpPsAggregator {
+            grr: GeneralizedRandomizedResponse::with_truth_probability(m, ps),
+            counts,
+            d,
+        })
     }
 }
 

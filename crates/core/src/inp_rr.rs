@@ -14,7 +14,8 @@
 //! distribution to summing the per-user reports (independence across users
 //! and cells), validated by a statistical equivalence test below.
 
-use crate::FullDistributionEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, FullDistributionEstimate};
 use ldp_mechanisms::{UnaryEncoding, UnaryFlavor};
 use ldp_sampling::{binomial, hash::splitmix64};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -151,6 +152,62 @@ impl InpRrAggregator {
             .map(|&c| self.ue.unbias_frequency(c as f64 / n))
             .collect();
         FullDistributionEstimate::new(self.d, dist)
+    }
+}
+
+impl Accumulator for InpRrAggregator {
+    type Report = Vec<u32>;
+    type Output = FullDistributionEstimate;
+
+    fn absorb(&mut self, report: &Vec<u32>) {
+        InpRrAggregator::absorb(self, report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        InpRrAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn finalize(self) -> FullDistributionEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::INP_RR);
+        w.put_u32(self.d);
+        w.put_f64(self.ue.p1());
+        w.put_f64(self.ue.p0());
+        w.put_u64(self.n as u64);
+        w.put_u64_slice(&self.ones);
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::INP_RR)?;
+        let d = r.get_u32()?;
+        let p1 = r.get_f64()?;
+        let p0 = r.get_f64()?;
+        let n = r.get_u64()? as usize;
+        let ones = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=24).contains(&d) {
+            return Err(WireError::Invalid("InpRR dimension"));
+        }
+        if !(0.0..=1.0).contains(&p1) || !(0.0..=1.0).contains(&p0) || p1 <= p0 {
+            return Err(WireError::Invalid("InpRR probabilities"));
+        }
+        if ones.len() != 1usize << d {
+            return Err(WireError::Invalid("InpRR cell-count length"));
+        }
+        Ok(InpRrAggregator {
+            ue: UnaryEncoding::with_probabilities(p1, p0),
+            ones,
+            n,
+            d,
+        })
     }
 }
 

@@ -8,11 +8,15 @@
 //!
 //! 1. **Client**: each user holds a private record `j ∈ {0,1}^d` and calls
 //!    `encode(row, rng)` exactly once, producing a small LDP report;
-//! 2. **Server**: an aggregator absorbs reports (`absorb`), possibly
-//!    merging partial aggregators from parallel shards (`merge`);
-//! 3. **Estimation**: `finish()` produces an [`Estimate`] from which *any*
-//!    k-way marginal can be reconstructed on demand — the paper's
-//!    requirement that queries need not be known during collection.
+//! 2. **Server**: an [`Accumulator`] absorbs reports one at a time
+//!    ([`Accumulator::absorb`] / [`Accumulator::absorb_batch`]), merges
+//!    partial aggregates from parallel shards or separate processes
+//!    ([`Accumulator::merge`], [`Accumulator::to_bytes`]), never needing
+//!    the population in memory;
+//! 3. **Estimation**: [`Accumulator::finalize`] produces an [`Estimate`]
+//!    from which *any* k-way marginal can be reconstructed on demand —
+//!    the paper's requirement that queries need not be known during
+//!    collection.
 //!
 //! The two design dimensions of §4 (view of the data × release primitive):
 //!
@@ -26,9 +30,13 @@
 //!
 //! Use [`MechanismKind::build`] for uniform construction and
 //! [`Mechanism::run`] for the full simulate-a-population pipeline (used by
-//! the bench harness); use the per-mechanism types directly for the
-//! faithful client/server split.
+//! the bench harness). For incremental ingest — reports arriving over the
+//! network, partial aggregates crossing process boundaries — use the
+//! streaming pair [`Mechanism::encode`] / [`Mechanism::accumulator`]
+//! (see [`MechanismAccumulator`]), or the per-mechanism types directly
+//! for the statically-typed client/server split.
 
+mod accumulator;
 mod categorical;
 pub mod consistency;
 mod estimate;
@@ -41,7 +49,10 @@ mod marg_ps;
 mod marg_rr;
 mod personalized;
 mod runner;
+mod streaming;
+pub mod wire;
 
+pub use accumulator::Accumulator;
 pub use categorical::{CatMargPs, CatMargPsAggregator, CatMargPsReport, CatMarginalSetEstimate};
 pub use estimate::{
     clamp_normalize, exact_hadamard_estimate, mean_kway_tvd, Estimate, FullDistributionEstimate,
@@ -55,7 +66,8 @@ pub use marg_ht::{MargHt, MargHtAggregator, MargHtReport};
 pub use marg_ps::{MargPs, MargPsAggregator, MargPsReport};
 pub use marg_rr::{MargRr, MargRrAggregator, MargRrReport};
 pub use personalized::{PersonalizedAggregator, PersonalizedInpHt, PersonalizedReport};
-pub use runner::{run_population, run_population_sharded, user_rng};
+pub use runner::{ingest, ingest_sharded, run_population, run_population_sharded, user_rng};
+pub use streaming::{MechanismAccumulator, MechanismReport};
 
 use ldp_mechanisms::theory::MethodBound;
 
@@ -186,19 +198,38 @@ impl Mechanism {
         }
     }
 
-    /// Run the full collect-and-aggregate pipeline serially over a
-    /// population of records (one per user), using `seed` for all client
-    /// randomness.
+    /// Run the full collect-and-aggregate pipeline over a population of
+    /// records (one per user), using `seed` for all client randomness.
     ///
-    /// `InpRr` uses the exact-in-distribution aggregate simulation; all
-    /// other mechanisms run the faithful per-user client protocol,
-    /// sharded across the available cores. Because the seed schedule is
-    /// per-user (see [`user_rng`]) and aggregator merges are exact, the
-    /// result is bit-identical to `run_sharded(rows, seed, 1)` — the
-    /// serial reference — and to every other shard count.
+    /// This is a thin driver over the streaming path: per-user
+    /// [`Mechanism::encode`] reports are absorbed into the mechanism's
+    /// [`MechanismAccumulator`], sharded across the available cores and
+    /// [`Accumulator::merge`]d. Because the seed schedule is per-user
+    /// (see [`user_rng`]) and accumulators obey the partition-invariance
+    /// law of [`Accumulator`], the result is bit-identical to
+    /// `run_sharded(rows, seed, 1)` — the serial reference — and to
+    /// every other shard count.
+    ///
+    /// `InpRr` is the one exception: its faithful client path costs
+    /// `O(2^d)` per user, so `run` substitutes the
+    /// exact-in-distribution aggregate simulation
+    /// ([`InpRr::run_fast`]); use [`Mechanism::accumulator`] directly
+    /// for faithful `InpRr` streaming.
+    ///
+    /// ```
+    /// use ldp_core::{MarginalEstimator, MechanismKind};
+    ///
+    /// // 10k users, each holding one of 16 records over d = 4 bits.
+    /// let rows: Vec<u64> = (0..10_000u64).map(|u| u % 16).collect();
+    /// let mechanism = MechanismKind::InpHt.build(4, 2, 1.1);
+    /// let estimate = mechanism.run(&rows, 42);
+    /// let table = estimate.marginal(ldp_bits::Mask::from_attrs(&[0, 3]));
+    /// assert_eq!(table.len(), 4);
+    /// assert!((table.iter().sum::<f64>() - 1.0).abs() < 0.1);
+    /// ```
     #[must_use]
     pub fn run(&self, rows: &[u64], seed: u64) -> Estimate {
-        // Sharding costs one aggregator per shard; skip it for
+        // Sharding costs one accumulator per shard; skip it for
         // populations too small to amortize that.
         let shards = if rows.len() < 4096 {
             1
@@ -210,82 +241,24 @@ impl Mechanism {
 
     /// Run the same pipeline with the population partitioned into
     /// `shards` contiguous chunks executed in parallel; per-shard
-    /// aggregators are `merge`d in shard order.
+    /// accumulators are [`Accumulator::merge`]d in shard order.
     ///
     /// Bit-identical to [`Mechanism::run`] for every `shards` value.
     #[must_use]
     pub fn run_sharded(&self, rows: &[u64], seed: u64, shards: usize) -> Estimate {
-        match self {
-            // The aggregate simulation draws one multinomial per input
-            // cell rather than one report per user, so it is already
-            // O(2^d) not O(n); sharding does not apply.
-            Mechanism::InpRr(m) => Estimate::Full(m.run_fast(rows, seed)),
-            Mechanism::InpPs(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
-                    InpPsAggregator::merge,
-                );
-                Estimate::Full(agg.finish())
-            }
-            Mechanism::InpHt(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
-                    InpHtAggregator::merge,
-                );
-                Estimate::Hadamard(agg.finish())
-            }
-            Mechanism::MargRr(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(&m.encode(row, rng)),
-                    MargRrAggregator::merge,
-                );
-                Estimate::MarginalSet(agg.finish())
-            }
-            Mechanism::MargPs(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
-                    MargPsAggregator::merge,
-                );
-                Estimate::MarginalSet(agg.finish())
-            }
-            Mechanism::MargHt(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
-                    MargHtAggregator::merge,
-                );
-                Estimate::MarginalSet(agg.finish())
-            }
-            Mechanism::InpEm(m) => {
-                let agg = run_population_sharded(
-                    rows,
-                    seed,
-                    shards,
-                    || m.aggregator(),
-                    |row, rng, agg| agg.absorb(m.encode(row, rng)),
-                    InpEmAggregator::merge,
-                );
-                Estimate::Em(agg.finish())
-            }
+        // The InpRR aggregate simulation draws one multinomial per input
+        // cell rather than one report per user, so it is already O(2^d)
+        // not O(n); sharding does not apply.
+        if let Mechanism::InpRr(m) = self {
+            return Estimate::Full(m.run_fast(rows, seed));
         }
+        ingest_sharded(
+            rows,
+            seed,
+            shards,
+            || self.accumulator(),
+            |row, rng| self.encode(row, rng),
+        )
+        .finalize()
     }
 }

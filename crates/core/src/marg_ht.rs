@@ -16,7 +16,8 @@
 //! reason the input variant wins (§4.3 "does not obtain as strong a
 //! result as InpHT").
 
-use crate::MarginalSetEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, MarginalSetEstimate};
 use ldp_bits::{compress, masks_of_weight, pm_one, Mask};
 use ldp_mechanisms::BinaryRandomizedResponse;
 use ldp_transform::fwht;
@@ -175,6 +176,84 @@ impl MargHtAggregator {
     }
 }
 
+impl Accumulator for MargHtAggregator {
+    type Report = MargHtReport;
+    type Output = MarginalSetEstimate;
+
+    fn absorb(&mut self, report: &MargHtReport) {
+        MargHtAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        MargHtAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.counts.iter().map(|t| t.iter().sum::<u64>()).sum()
+    }
+
+    fn finalize(self) -> MarginalSetEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::MARG_HT);
+        w.put_u32(self.d);
+        w.put_u32(self.k);
+        w.put_f64(self.rr.keep_probability());
+        w.put_u64(self.sums.iter().map(|t| t.len() as u64).sum());
+        for table in &self.sums {
+            for &s in table {
+                w.put_i64(s);
+            }
+        }
+        w.put_u64(self.counts.iter().map(|t| t.len() as u64).sum());
+        for table in &self.counts {
+            for &c in table {
+                w.put_u64(c);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::MARG_HT)?;
+        let d = r.get_u32()?;
+        let k = r.get_u32()?;
+        let p = r.get_f64()?;
+        let flat_sums = r.get_i64_vec()?;
+        let flat_counts = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=63).contains(&d) || k < 1 || k > d || k > 16 {
+            return Err(WireError::Invalid("MargHT dimensions"));
+        }
+        if !(p > 0.5 && p < 1.0) {
+            return Err(WireError::Invalid("MargHT keep probability"));
+        }
+        // O(k) count and checked width math — never enumerate C(d,k)
+        // masks or trust a product on untrusted dims.
+        let marginals = ldp_bits::binomial(u64::from(d), u64::from(k));
+        let cells_u64 = 1u64 << k;
+        let expected = marginals
+            .checked_mul(cells_u64)
+            .ok_or(WireError::Invalid("MargHT table shape"))?;
+        if flat_sums.len() as u64 != expected || flat_counts.len() as u64 != expected {
+            return Err(WireError::Invalid("MargHT table shape"));
+        }
+        let cells = cells_u64 as usize;
+        Ok(MargHtAggregator {
+            rr: BinaryRandomizedResponse::with_keep_probability(p),
+            d,
+            k,
+            sums: flat_sums.chunks_exact(cells).map(<[i64]>::to_vec).collect(),
+            counts: flat_counts
+                .chunks_exact(cells)
+                .map(<[u64]>::to_vec)
+                .collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +302,23 @@ mod tests {
         let est = run(&mech, &rows, 4);
         let tvd = mean_kway_tvd(&est, &ds, 2);
         assert!(tvd < 0.06, "tvd {tvd}");
+    }
+
+    #[test]
+    fn from_bytes_rejects_huge_dims_without_enumerating() {
+        // d=63, k=16 passes the range checks but implies C(63,16) ≈ 9e14
+        // tables; the shape check must reject the blob in O(k), not
+        // enumerate masks.
+        use crate::wire::{tag, Writer};
+        let mut w = Writer::with_tag(tag::MARG_HT);
+        w.put_u32(63);
+        w.put_u32(16);
+        w.put_f64(0.75);
+        w.put_i64_slice(&[0; 4]);
+        w.put_u64_slice(&[0; 4]);
+        let t0 = std::time::Instant::now();
+        assert!(<MargHtAggregator as Accumulator>::from_bytes(&w.into_bytes()).is_err());
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! asymptotically by `2^{k/2}` but empirically strong for small `k`, a
 //! point the paper's Figure 4 discussion makes.
 
-use crate::MarginalSetEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, MarginalSetEstimate};
 use ldp_bits::{compress, masks_of_weight, Mask};
 use ldp_mechanisms::GeneralizedRandomizedResponse;
 use rand::Rng;
@@ -149,6 +150,75 @@ impl MargPsAggregator {
             })
             .collect();
         MarginalSetEstimate::new(self.d, self.k, tables)
+    }
+}
+
+impl Accumulator for MargPsAggregator {
+    type Report = MargPsReport;
+    type Output = MarginalSetEstimate;
+
+    fn absorb(&mut self, report: &MargPsReport) {
+        MargPsAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        MargPsAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.counts.iter().map(|t| t.iter().sum::<u64>()).sum()
+    }
+
+    fn finalize(self) -> MarginalSetEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::MARG_PS);
+        w.put_u32(self.d);
+        w.put_u32(self.k);
+        w.put_f64(self.grr.truth_probability());
+        w.put_u64(self.counts.iter().map(|t| t.len() as u64).sum());
+        for table in &self.counts {
+            for &c in table {
+                w.put_u64(c);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::MARG_PS)?;
+        let d = r.get_u32()?;
+        let k = r.get_u32()?;
+        let ps = r.get_f64()?;
+        let flat = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=63).contains(&d) || k < 1 || k > d || k > 16 {
+            return Err(WireError::Invalid("MargPS dimensions"));
+        }
+        let cells = 1u64 << k;
+        if !(ps > 1.0 / cells as f64 && ps < 1.0) {
+            return Err(WireError::Invalid("MargPS truth probability"));
+        }
+        // O(k) count and checked width math — never enumerate C(d,k)
+        // masks or trust a product on untrusted dims.
+        let marginals = ldp_bits::binomial(u64::from(d), u64::from(k));
+        let expected = marginals
+            .checked_mul(cells)
+            .ok_or(WireError::Invalid("MargPS table shape"))?;
+        if flat.len() as u64 != expected {
+            return Err(WireError::Invalid("MargPS table shape"));
+        }
+        Ok(MargPsAggregator {
+            grr: GeneralizedRandomizedResponse::with_truth_probability(cells, ps),
+            d,
+            k,
+            counts: flat
+                .chunks_exact(cells as usize)
+                .map(<[u64]>::to_vec)
+                .collect(),
+        })
     }
 }
 

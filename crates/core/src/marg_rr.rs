@@ -8,7 +8,8 @@
 //! unbias cell frequencies over the users who sampled it. Error
 //! `Õ(2^k d^{k/2} / (ε√N))`.
 
-use crate::MarginalSetEstimate;
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Accumulator, MarginalSetEstimate};
 use ldp_bits::{compress, masks_of_weight, Mask};
 use ldp_mechanisms::{UnaryEncoding, UnaryFlavor};
 use rand::Rng;
@@ -160,6 +161,78 @@ impl MargRrAggregator {
             })
             .collect();
         MarginalSetEstimate::new(self.d, self.k, tables)
+    }
+}
+
+impl Accumulator for MargRrAggregator {
+    type Report = MargRrReport;
+    type Output = MarginalSetEstimate;
+
+    fn absorb(&mut self, report: &MargRrReport) {
+        MargRrAggregator::absorb(self, report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        MargRrAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.users.iter().sum()
+    }
+
+    fn finalize(self) -> MarginalSetEstimate {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::MARG_RR);
+        w.put_u32(self.d);
+        w.put_u32(self.k);
+        w.put_f64(self.ue.p1());
+        w.put_f64(self.ue.p0());
+        w.put_u64_slice(&self.users);
+        w.put_u64(self.ones.iter().map(|t| t.len() as u64).sum());
+        for table in &self.ones {
+            for &c in table {
+                w.put_u64(c);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::MARG_RR)?;
+        let d = r.get_u32()?;
+        let k = r.get_u32()?;
+        let p1 = r.get_f64()?;
+        let p0 = r.get_f64()?;
+        let users = r.get_u64_vec()?;
+        let flat = r.get_u64_vec()?;
+        r.finish()?;
+        if !(1..=63).contains(&d) || k < 1 || k > d || k > 16 {
+            return Err(WireError::Invalid("MargRR dimensions"));
+        }
+        if !(0.0..=1.0).contains(&p1) || !(0.0..=1.0).contains(&p0) || p1 <= p0 {
+            return Err(WireError::Invalid("MargRR probabilities"));
+        }
+        // O(k) count and checked width math — never enumerate C(d,k)
+        // masks or trust a product on untrusted dims.
+        let marginals = ldp_bits::binomial(u64::from(d), u64::from(k));
+        let cells = 1u64 << k;
+        let expected = marginals
+            .checked_mul(cells)
+            .ok_or(WireError::Invalid("MargRR table shape"))?;
+        if users.len() as u64 != marginals || flat.len() as u64 != expected {
+            return Err(WireError::Invalid("MargRR table shape"));
+        }
+        let cells = cells as usize;
+        Ok(MargRrAggregator {
+            ue: UnaryEncoding::with_probabilities(p1, p0),
+            d,
+            k,
+            ones: flat.chunks_exact(cells).map(<[u64]>::to_vec).collect(),
+            users,
+        })
     }
 }
 

@@ -1,17 +1,26 @@
 //! Deterministic (and optionally sharded) simulation of a user population.
 //!
 //! Each user runs their client protocol independently, so the population
-//! loop shards cleanly: the server-side aggregators are built for exactly
-//! this (`absorb` per report, `merge` across shards — the merge-then-
-//! estimate shape of composite streaming sketches). The key design point
-//! is the **seed schedule**: every user `u` draws from a private RNG
-//! seeded as a function of `(seed, u)` only, so the randomness a user
-//! consumes is independent of how the population is partitioned. Shards
-//! are contiguous chunks merged in index order and every aggregator's
-//! state is exact (integer counts or report lists), hence
-//! [`run_population_sharded`] is **bit-identical** to the serial
-//! [`run_population`] for *any* shard count.
+//! loop shards cleanly: the server side is an [`Accumulator`], whose
+//! contract (commutative `absorb`, associative + commutative `merge`,
+//! exact integer state) is the **single source of truth** for why
+//! sharding is safe — see the partition-invariance law spelled out on
+//! [`Accumulator`]. This module contributes the
+//! other half: the **seed schedule**. Every user `u` draws from a
+//! private RNG seeded as a function of `(seed, u)` only (see
+//! [`user_rng`]), so the randomness a user consumes is independent of
+//! how the population is partitioned. Reports are therefore identical
+//! under any partition, the accumulator's partition-invariance law does
+//! the rest, and [`ingest_sharded`] is **bit-identical** (up to
+//! serialized accumulator state) to the serial [`ingest`] for *any*
+//! shard count.
+//!
+//! [`run_population`] / [`run_population_sharded`] are the closure-based
+//! lower layer for aggregates that do not implement [`Accumulator`]
+//! (tests, one-off histograms); mechanism code should prefer
+//! [`ingest`] / [`ingest_sharded`].
 
+use crate::Accumulator;
 use ldp_sampling::hash::splitmix64;
 use rand::{rngs::SmallRng, SeedableRng};
 use rayon::prelude::*;
@@ -27,15 +36,58 @@ pub fn user_rng(seed: u64, user: u64) -> SmallRng {
     SmallRng::seed_from_u64(splitmix64(seed ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
-/// Run a client protocol serially over a population of records.
+/// Serially encode and absorb every user's report into a fresh
+/// [`Accumulator`] — the reference semantics for [`ingest_sharded`].
 ///
-/// * `make_agg` — construct an empty aggregator;
+/// * `make_acc` — construct the empty accumulator (e.g.
+///   [`crate::Mechanism::accumulator`]);
+/// * `encode` — produce user `u`'s report from their record and private
+///   RNG (e.g. [`crate::Mechanism::encode`]).
+pub fn ingest<A, F, E>(rows: &[u64], seed: u64, make_acc: F, encode: E) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A + Sync + Send,
+    E: Fn(u64, &mut SmallRng) -> A::Report + Sync + Send,
+{
+    ingest_sharded(rows, seed, 1, make_acc, encode)
+}
+
+/// [`ingest`] with the population partitioned into `shards` contiguous
+/// chunks executed in parallel; per-shard accumulators are
+/// [`Accumulator::merge`]d in shard order.
+///
+/// By the seed schedule (module docs) plus the accumulator laws, the
+/// resulting state is identical to serial [`ingest`] for every `shards`
+/// value — the property `tests/streaming.rs` checks byte-for-byte.
+pub fn ingest_sharded<A, F, E>(rows: &[u64], seed: u64, shards: usize, make_acc: F, encode: E) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A + Sync + Send,
+    E: Fn(u64, &mut SmallRng) -> A::Report + Sync + Send,
+{
+    run_population_sharded(
+        rows,
+        seed,
+        shards,
+        make_acc,
+        |row, rng, acc: &mut A| acc.absorb(&encode(row, rng)),
+        |acc, part| acc.merge(part),
+    )
+}
+
+/// Run a client protocol serially over a population of records, with
+/// explicit closures instead of an [`Accumulator`] (for ad-hoc
+/// aggregates; mechanism code should prefer [`ingest`]).
+///
+/// * `make_agg` — construct an empty aggregate;
 /// * `step` — encode one user's record and absorb the report;
-/// * `merge` — fold one shard's aggregator into another (unused in the
-///   serial path, accepted so both runners share a signature).
+/// * `merge` — fold one shard's aggregate into another (unused in the
+///   serial path, accepted so both runners share a signature). To keep
+///   the bit-identity guarantee, `step` and `merge` must follow the
+///   same laws [`Accumulator`] demands of its implementations.
 ///
 /// This is the reference semantics: [`run_population_sharded`] produces
-/// the same aggregator state for every shard count.
+/// the same aggregate state for every shard count.
 pub fn run_population<A, F, G, M>(rows: &[u64], seed: u64, make_agg: F, step: G, merge: M) -> A
 where
     A: Send,
@@ -46,13 +98,14 @@ where
     run_population_sharded(rows, seed, 1, make_agg, step, merge)
 }
 
-/// Run a client protocol over a population of records split into
-/// `shards` contiguous chunks executed in parallel (via the rayon
-/// work-queue), then merged in shard order.
+/// Closure-based variant of [`ingest_sharded`]: split the population
+/// into `shards` contiguous chunks executed in parallel (via the rayon
+/// work-queue), then merge in shard order.
 ///
-/// Because the seed schedule is per-user (see [`user_rng`]) and every
-/// aggregator merge is exact, the result is bit-identical to the serial
-/// [`run_population`] regardless of `shards` or thread scheduling.
+/// Because the seed schedule is per-user (see [`user_rng`]) and the
+/// `step`/`merge` closures are expected to follow the [`Accumulator`]
+/// laws, the result is bit-identical to the serial [`run_population`]
+/// regardless of `shards` or thread scheduling.
 pub fn run_population_sharded<A, F, G, M>(
     rows: &[u64],
     seed: u64,

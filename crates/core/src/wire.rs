@@ -1,0 +1,309 @@
+//! Compact little-endian wire format for serialized accumulators.
+//!
+//! Every [`crate::Accumulator`] state starts with a one-byte type tag
+//! (see [`tag`]) followed by a one-byte format version, then
+//! type-specific fields written with [`Writer`] and read back with
+//! [`Reader`]. Integers are fixed-width little-endian; floats are the
+//! IEEE-754 bit pattern (`f64::to_bits`), so a decode/encode round trip
+//! is exactly byte-identical — the property the partition-invariance
+//! proptest in `tests/streaming.rs` checks.
+//!
+//! The format carries the full protocol configuration (dimensions and
+//! perturbation probabilities), so a partial aggregate can cross a
+//! process boundary and be merged by a peer that was never handed the
+//! originating [`crate::Mechanism`].
+
+/// Type tags identifying which accumulator a byte blob belongs to.
+///
+/// Tags are part of the wire format: never reuse or renumber them.
+pub mod tag {
+    /// [`crate::InpRrAggregator`].
+    pub const INP_RR: u8 = 0x01;
+    /// [`crate::InpPsAggregator`].
+    pub const INP_PS: u8 = 0x02;
+    /// [`crate::InpHtAggregator`].
+    pub const INP_HT: u8 = 0x03;
+    /// [`crate::MargRrAggregator`].
+    pub const MARG_RR: u8 = 0x04;
+    /// [`crate::MargPsAggregator`].
+    pub const MARG_PS: u8 = 0x05;
+    /// [`crate::MargHtAggregator`].
+    pub const MARG_HT: u8 = 0x06;
+    /// [`crate::InpEmAggregator`].
+    pub const INP_EM: u8 = 0x07;
+    /// `ldp_oracles::HadamardCmsAggregator`.
+    pub const HCMS: u8 = 0x11;
+    /// `ldp_oracles::CmsAggregator`.
+    pub const CMS: u8 = 0x12;
+    /// `ldp_oracles::OlhAggregator`.
+    pub const OLH: u8 = 0x13;
+}
+
+/// The current (and only) wire-format version.
+pub const VERSION: u8 = 1;
+
+/// Why a byte blob failed to decode into an accumulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The blob ended before the advertised fields did.
+    Truncated,
+    /// The leading type tag does not match the requested accumulator.
+    WrongTag {
+        /// Tag the decoder expected (see [`tag`]).
+        expected: u8,
+        /// Tag found in the blob (absent if the blob was empty).
+        found: Option<u8>,
+    },
+    /// The blob's format version is not supported by this build.
+    UnsupportedVersion(u8),
+    /// Bytes were left over after all fields were read.
+    TrailingBytes(usize),
+    /// A decoded field failed its validity check.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "serialized accumulator is truncated"),
+            WireError::WrongTag { expected, found } => match found {
+                Some(t) => write!(
+                    f,
+                    "wrong accumulator tag {t:#04x} (expected {expected:#04x})"
+                ),
+                None => write!(f, "empty blob (expected tag {expected:#04x})"),
+            },
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::Invalid(what) => write!(f, "invalid serialized field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder for accumulator state.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start a blob with the given type tag and the current [`VERSION`].
+    #[must_use]
+    pub fn with_tag(tag: u8) -> Self {
+        let mut w = Writer {
+            buf: Vec::with_capacity(64),
+        };
+        w.buf.push(tag);
+        w.buf.push(VERSION);
+        w
+    }
+
+    /// Append a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its exact IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Append a length-prefixed `i64` slice.
+    pub fn put_i64_slice(&mut self, vs: &[i64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_i64(v);
+        }
+    }
+
+    /// Finish and take the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder matching [`Writer`].
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Open a blob, checking its type tag and version.
+    pub fn with_tag(bytes: &'a [u8], expected: u8) -> Result<Self, WireError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let found = r.get_u8().ok();
+        if found != Some(expected) {
+            return Err(WireError::WrongTag { expected, found });
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        Ok(r)
+    }
+
+    /// Peek at a blob's type tag without consuming anything.
+    pub fn peek_tag(bytes: &[u8]) -> Option<u8> {
+        bytes.first().copied()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed `u64` vector, rejecting absurd lengths
+    /// before allocating.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let len = self.get_u64()? as usize;
+        if self.bytes.len() - self.pos < len.saturating_mul(8) {
+            return Err(WireError::Truncated);
+        }
+        (0..len).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a length-prefixed `i64` vector.
+    pub fn get_i64_vec(&mut self) -> Result<Vec<i64>, WireError> {
+        let len = self.get_u64()? as usize;
+        if self.bytes.len() - self.pos < len.saturating_mul(8) {
+            return Err(WireError::Truncated);
+        }
+        (0..len).map(|_| self.get_i64()).collect()
+    }
+
+    /// Assert the whole blob was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        let left = self.bytes.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_type() {
+        let mut w = Writer::with_tag(0x7F);
+        w.put_u8(3);
+        w.put_u32(1 << 30);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(0.1 + 0.2); // not representable exactly — bits must survive
+        w.put_u64_slice(&[1, 2, 3]);
+        w.put_i64_slice(&[-1, 0, 1]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::with_tag(&bytes, 0x7F).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 3);
+        assert_eq!(r.get_u32().unwrap(), 1 << 30);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(r.get_u64_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_i64_vec().unwrap(), vec![-1, 0, 1]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_tag_truncation_and_trailing() {
+        let bytes = Writer::with_tag(tag::INP_RR).into_bytes();
+        assert!(matches!(
+            Reader::with_tag(&bytes, tag::INP_PS),
+            Err(WireError::WrongTag { .. })
+        ));
+        assert!(matches!(
+            Reader::with_tag(&[], tag::INP_RR),
+            Err(WireError::WrongTag { found: None, .. })
+        ));
+
+        let mut r = Reader::with_tag(&bytes, tag::INP_RR).unwrap();
+        assert_eq!(r.get_u64(), Err(WireError::Truncated));
+
+        let mut w = Writer::with_tag(tag::INP_RR);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let r = Reader::with_tag(&bytes, tag::INP_RR).unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let mut bytes = Writer::with_tag(tag::OLH).into_bytes();
+        bytes[1] = VERSION + 1;
+        assert!(matches!(
+            Reader::with_tag(&bytes, tag::OLH),
+            Err(WireError::UnsupportedVersion(v)) if v == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_before_allocating() {
+        let mut w = Writer::with_tag(0x01);
+        w.put_u64(u64::MAX); // claims ~2^64 elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x01).unwrap();
+        assert_eq!(r.get_u64_vec(), Err(WireError::Truncated));
+    }
+}

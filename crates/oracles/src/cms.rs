@@ -4,6 +4,8 @@
 //! trade the Hadamard variant makes (Appendix B.2 discussion).
 
 use crate::FrequencyOracle;
+use ldp_core::wire::{tag, Reader, WireError, Writer};
+use ldp_core::Accumulator;
 use ldp_mechanisms::{check_epsilon, UnaryEncoding, UnaryFlavor};
 use ldp_sampling::hash::{splitmix64, PolyHash};
 use rand::Rng;
@@ -112,6 +114,12 @@ impl CmsAggregator {
         }
     }
 
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.users.iter().map(|&u| u as usize).sum()
+    }
+
     /// Unbias rows into bucket distributions.
     #[must_use]
     pub fn finish(self) -> CmsOracle {
@@ -134,6 +142,88 @@ impl CmsAggregator {
             config: self.config,
             rows,
         }
+    }
+}
+
+impl Accumulator for CmsAggregator {
+    type Report = CmsReport;
+    type Output = CmsOracle;
+
+    fn absorb(&mut self, report: &CmsReport) {
+        CmsAggregator::absorb(self, report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        CmsAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.users.iter().sum()
+    }
+
+    fn finalize(self) -> CmsOracle {
+        self.finish()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::CMS);
+        w.put_u32(self.config.d);
+        w.put_u64(self.config.g as u64);
+        w.put_u64(self.config.w as u64);
+        w.put_f64(self.config.ue.p1());
+        w.put_f64(self.config.ue.p0());
+        for hash in &self.config.hashes {
+            w.put_u64_slice(hash.coefficients());
+        }
+        w.put_u64_slice(&self.users);
+        for row in &self.ones {
+            w.put_u64_slice(row);
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::CMS)?;
+        let d = r.get_u32()?;
+        let g = r.get_u64()? as usize;
+        let w = r.get_u64()? as usize;
+        let p1 = r.get_f64()?;
+        let p0 = r.get_f64()?;
+        if !(1..=255).contains(&g) || w < 2 {
+            return Err(WireError::Invalid("CMS sketch shape"));
+        }
+        if !(0.0..=1.0).contains(&p1) || !(0.0..=1.0).contains(&p0) || p1 <= p0 {
+            return Err(WireError::Invalid("CMS probabilities"));
+        }
+        let hashes = (0..g)
+            .map(|_| {
+                let coeffs = r.get_u64_vec()?;
+                if coeffs.is_empty() || coeffs.iter().any(|&c| c >= ldp_sampling::hash::MERSENNE_P)
+                {
+                    return Err(WireError::Invalid("CMS hash coefficients"));
+                }
+                Ok(PolyHash::from_coefficients(coeffs, w as u64))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let users = r.get_u64_vec()?;
+        let ones = (0..g)
+            .map(|_| r.get_u64_vec())
+            .collect::<Result<Vec<_>, _>>()?;
+        r.finish()?;
+        if users.len() != g || ones.iter().any(|row| row.len() != w) {
+            return Err(WireError::Invalid("CMS table shape"));
+        }
+        Ok(CmsAggregator {
+            config: Cms {
+                d,
+                g,
+                w,
+                ue: UnaryEncoding::with_probabilities(p1, p0),
+                hashes,
+            },
+            ones,
+            users,
+        })
     }
 }
 
@@ -186,6 +276,24 @@ mod tests {
         let oracle = agg.finish();
         let est = oracle.estimate(77);
         assert!((est - 0.5).abs() < 0.12, "estimate {est}");
+    }
+
+    #[test]
+    fn accumulator_round_trips_through_bytes() {
+        let config = Cms::new(8, 1.1, 4, 32, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agg = config.aggregator();
+        for v in 0..800u64 {
+            agg.absorb(&config.encode(v % 50, &mut rng));
+        }
+        let bytes = Accumulator::to_bytes(&agg);
+        let back = <CmsAggregator as Accumulator>::from_bytes(&bytes).unwrap();
+        assert_eq!(Accumulator::to_bytes(&back), bytes);
+        assert_eq!(back.report_count(), 800);
+        assert_eq!(
+            back.finalize().estimate(17).to_bits(),
+            agg.finish().estimate(17).to_bits()
+        );
     }
 
     #[test]

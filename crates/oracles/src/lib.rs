@@ -24,7 +24,11 @@
 //!   the communication-cost comparison.
 //!
 //! All three implement [`FrequencyOracle`]; [`oracle_marginal`] turns any
-//! oracle into a marginal estimator.
+//! oracle into a marginal estimator. Each oracle's aggregator also
+//! implements [`ldp_core::Accumulator`], so oracles plug into the same
+//! streaming ingest / merge / serialize pipeline as the marginal
+//! mechanisms (`absorb` per report, `merge` across collectors,
+//! `to_bytes` across process boundaries).
 
 mod cms;
 mod hcms;

@@ -13,6 +13,8 @@
 //! enforces an explicit operation budget and reports partial progress.
 
 use crate::FrequencyOracle;
+use ldp_core::wire::{tag, Reader, WireError, Writer};
+use ldp_core::Accumulator;
 use ldp_mechanisms::{check_epsilon, GeneralizedRandomizedResponse};
 use ldp_sampling::hash::{universal_hash_from_seed, PolyHash};
 use rand::Rng;
@@ -140,6 +142,78 @@ impl OlhAggregator {
     }
 }
 
+impl Accumulator for OlhAggregator {
+    type Report = OlhReport;
+    type Output = OlhOracle;
+
+    fn absorb(&mut self, report: &OlhReport) {
+        OlhAggregator::absorb(self, *report);
+    }
+
+    fn merge(&mut self, other: Self) {
+        OlhAggregator::merge(self, other);
+    }
+
+    fn report_count(&self) -> u64 {
+        self.reports.len() as u64
+    }
+
+    fn finalize(self) -> OlhOracle {
+        self.finish()
+    }
+
+    /// The report list is canonicalized (sorted by `(seed, bucket)`)
+    /// before encoding, so the bytes are identical for every ingest
+    /// order and partition even though the in-memory `Vec` preserves
+    /// arrival order. Decoding is insensitive to report order.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut reports = self.reports.clone();
+        reports.sort_unstable_by_key(|r| (r.seed, r.bucket));
+        let mut w = Writer::with_tag(tag::OLH);
+        w.put_u32(self.config.d);
+        w.put_u64(self.config.g);
+        w.put_f64(self.config.grr.truth_probability());
+        w.put_u64(reports.len() as u64);
+        for r in &reports {
+            w.put_u64(r.seed);
+            w.put_u8(r.bucket);
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::OLH)?;
+        let d = r.get_u32()?;
+        let g = r.get_u64()?;
+        let ps = r.get_f64()?;
+        let len = r.get_u64()? as usize;
+        let mut reports = Vec::new();
+        for _ in 0..len {
+            let seed = r.get_u64()?;
+            let bucket = r.get_u8()?;
+            if u64::from(bucket) >= g {
+                return Err(WireError::Invalid("OLH bucket out of range"));
+            }
+            reports.push(OlhReport { seed, bucket });
+        }
+        r.finish()?;
+        if !(1..=40).contains(&d) || g < 2 || g > 256 {
+            return Err(WireError::Invalid("OLH configuration"));
+        }
+        if !(ps > 1.0 / g as f64 && ps < 1.0) {
+            return Err(WireError::Invalid("OLH truth probability"));
+        }
+        Ok(OlhAggregator {
+            config: Olh {
+                d,
+                g,
+                grr: GeneralizedRandomizedResponse::with_truth_probability(g, ps),
+            },
+            reports,
+        })
+    }
+}
+
 /// Decoded OLH oracle.
 #[derive(Clone, Debug)]
 pub struct OlhOracle {
@@ -250,6 +324,31 @@ mod tests {
             OlhDecode::TimedOut { cells_done } => assert_eq!(cells_done, 1000),
             OlhDecode::Complete(_) => panic!("expected timeout"),
         }
+    }
+
+    #[test]
+    fn accumulator_bytes_are_canonical_across_ingest_orders() {
+        let mech = Olh::new(6, 1.1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let reports: Vec<OlhReport> = (0..500u64).map(|v| mech.encode(v % 64, &mut rng)).collect();
+
+        let mut forward = mech.aggregator();
+        let mut backward = mech.aggregator();
+        for &r in &reports {
+            forward.absorb(r);
+        }
+        for &r in reports.iter().rev() {
+            backward.absorb(r);
+        }
+        // In-memory order differs, canonical bytes do not.
+        let bytes = Accumulator::to_bytes(&forward);
+        assert_eq!(bytes, Accumulator::to_bytes(&backward));
+        let back = <OlhAggregator as Accumulator>::from_bytes(&bytes).unwrap();
+        assert_eq!(Accumulator::to_bytes(&back), bytes);
+        assert_eq!(
+            back.finalize().estimate(3).to_bits(),
+            forward.finish().estimate(3).to_bits()
+        );
     }
 
     #[test]

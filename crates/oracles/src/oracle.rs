@@ -3,6 +3,26 @@
 use ldp_bits::{compress, Mask};
 
 /// An LDP frequency oracle over the domain `{0,1}^d`.
+///
+/// Build one by streaming reports into the matching aggregator (an
+/// [`ldp_core::Accumulator`]) and finalizing:
+///
+/// ```
+/// use ldp_core::Accumulator;
+/// use ldp_oracles::{FrequencyOracle, HadamardCms};
+/// use rand::{rngs::StdRng, Rng, SeedableRng};
+///
+/// let sketch = HadamardCms::new(10, 1.1, 5, 256, 42);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut agg = sketch.aggregator();
+/// for _ in 0..60_000 {
+///     // 60% of users hold value 123.
+///     let value = if rng.gen_bool(0.6) { 123 } else { rng.gen_range(0..1024) };
+///     agg.absorb(sketch.encode(value, &mut rng));
+/// }
+/// let oracle = agg.finalize();
+/// assert!((oracle.estimate(123) - 0.6).abs() < 0.1);
+/// ```
 pub trait FrequencyOracle {
     /// Domain dimensionality.
     fn d(&self) -> u32;

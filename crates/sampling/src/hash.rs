@@ -102,6 +102,22 @@ impl PolyHash {
     pub fn range(&self) -> u64 {
         self.m
     }
+
+    /// The polynomial coefficients, low-to-high degree (for serializing a
+    /// protocol configuration that embeds concrete hash functions).
+    #[must_use]
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Rebuild a hash from its coefficients (the inverse of
+    /// [`PolyHash::coefficients`] + [`PolyHash::range`]).
+    #[must_use]
+    pub fn from_coefficients(coeffs: Vec<u64>, m: u64) -> Self {
+        assert!(!coeffs.is_empty() && m >= 1);
+        assert!(coeffs.iter().all(|&c| c < MERSENNE_P));
+        PolyHash { coeffs, m }
+    }
 }
 
 /// A pairwise-independent (universal) hash: degree-1 [`PolyHash`].

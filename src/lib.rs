@@ -36,7 +36,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`ldp_core`] | the six mechanisms (`InpRR/InpPS/InpHT/MargRR/MargPS/MargHT`) + `InpEM` |
+//! | [`ldp_core`] | the six mechanisms (`InpRR/InpPS/InpHT/MargRR/MargPS/MargHT`) + `InpEM`, the `Accumulator` streaming layer |
 //! | [`ldp_mechanisms`] | RR / preferential-sampling / unary-encoding primitives, LDP verification, Table 2 bounds |
 //! | [`ldp_transform`] | FWHT, marginal operator, Lemma 3.7 reconstruction, Efron–Stein |
 //! | [`ldp_bits`] | mask algebra, subset enumeration, combinatorial ranking |
@@ -65,7 +65,8 @@ pub mod prelude {
     pub use ldp_analysis::mi::mutual_information_2x2;
     pub use ldp_bits::Mask;
     pub use ldp_core::{
-        clamp_normalize, mean_kway_tvd, Estimate, MarginalEstimator, Mechanism, MechanismKind,
+        clamp_normalize, mean_kway_tvd, Accumulator, Estimate, MarginalEstimator, Mechanism,
+        MechanismAccumulator, MechanismKind, MechanismReport,
     };
     pub use ldp_data::categorical::CategoricalSchema;
     pub use ldp_data::movielens::MovieLensGenerator;

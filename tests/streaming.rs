@@ -1,0 +1,106 @@
+//! The streaming-accumulator partition-invariance law, property-tested
+//! at the workspace level: for **every** `MechanismKind`, any random
+//! partition of the users into parts, any within-part interleaving the
+//! partition induces, and any merge order of the parts produces an
+//! accumulator whose state — and serialized `to_bytes` form — is
+//! *identical* to serial ingest. This extends the seed-schedule
+//! invariant behind `Mechanism::run_sharded` (shards = contiguous
+//! chunks, merged in order) to arbitrary partitions and merge orders,
+//! which is what lets independent collector processes aggregate a
+//! population and combine their states in any topology.
+
+use marginal_ldp::core::user_rng;
+use marginal_ldp::prelude::*;
+use proptest::prelude::*;
+
+const ALL_KINDS: [MechanismKind; 7] = [
+    MechanismKind::InpRr,
+    MechanismKind::InpPs,
+    MechanismKind::InpHt,
+    MechanismKind::MargRr,
+    MechanismKind::MargPs,
+    MechanismKind::MargHt,
+    MechanismKind::InpEm,
+];
+
+/// Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=(i as u64)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random partition + random merge order ≡ serial ingest, down to
+    /// the serialized bytes, for every mechanism.
+    #[test]
+    fn any_partition_and_merge_order_matches_serial_ingest(
+        assignment in proptest::collection::vec(0usize..5, 120..300),
+        seed in 0u64..1_000,
+        merge_seed in 0u64..1_000,
+    ) {
+        let parts = 5usize;
+        let n = assignment.len();
+        let rows: Vec<u64> = (0..n as u64).map(|u| (u * 37 + seed) % 16).collect();
+
+        for kind in ALL_KINDS {
+            let mechanism = kind.build(4, 2, 1.1);
+
+            // The per-user seed schedule fixes each user's report no
+            // matter which collector ingests it.
+            let reports: Vec<MechanismReport> = rows
+                .iter()
+                .enumerate()
+                .map(|(u, &row)| mechanism.encode(row, &mut user_rng(seed, u as u64)))
+                .collect();
+
+            // Reference: one accumulator, users in index order.
+            let mut serial = mechanism.accumulator();
+            for r in &reports {
+                serial.absorb(r);
+            }
+            let serial_bytes = serial.to_bytes();
+
+            // Partitioned: users scattered over `parts` collectors (the
+            // partition induces arbitrary within-part interleavings of
+            // user indices), parts merged in a random order.
+            let mut collectors: Vec<MechanismAccumulator> =
+                (0..parts).map(|_| mechanism.accumulator()).collect();
+            for (user, &part) in assignment.iter().enumerate() {
+                collectors[part].absorb(&reports[user]);
+            }
+            let order = permutation(parts, merge_seed);
+            let mut collectors: Vec<Option<MechanismAccumulator>> =
+                collectors.into_iter().map(Some).collect();
+            let mut acc = collectors[order[0]].take().unwrap();
+            for &i in &order[1..] {
+                acc.merge(collectors[i].take().unwrap());
+            }
+
+            prop_assert_eq!(
+                &acc.to_bytes(),
+                &serial_bytes,
+                "{} state diverged under partition + merge order",
+                kind.name()
+            );
+
+            // The bytes also survive a process boundary: rehydrate and
+            // compare both re-serialization and the final estimate.
+            let rehydrated = MechanismAccumulator::from_bytes(&serial_bytes).unwrap();
+            prop_assert_eq!(&rehydrated.to_bytes(), &serial_bytes, "{}", kind.name());
+            prop_assert_eq!(
+                acc.finalize(),
+                rehydrated.finalize(),
+                "{} estimates diverged after rehydration",
+                kind.name()
+            );
+        }
+    }
+}

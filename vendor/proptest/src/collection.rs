@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng as _;
 use std::ops::Range;
 
-/// Anything usable as the size argument of [`vec`]: a fixed length or a
+/// Anything usable as the size argument of [`vec()`]: a fixed length or a
 /// half-open range of lengths.
 pub trait SizeRange {
     /// Draw a length.
@@ -30,7 +30,7 @@ pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,
