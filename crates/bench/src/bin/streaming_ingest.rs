@@ -73,15 +73,7 @@ fn main() {
         "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>9}",
         "", "stream", "reports/s", "batch", "report buf", "acc state"
     );
-    for kind in [
-        MechanismKind::InpRr,
-        MechanismKind::InpPs,
-        MechanismKind::InpHt,
-        MechanismKind::MargRr,
-        MechanismKind::MargPs,
-        MechanismKind::MargHt,
-        MechanismKind::InpEm,
-    ] {
+    for kind in MechanismKind::ALL {
         let mechanism = kind.build(d, k, eps);
 
         // Streaming: one report in flight at a time.

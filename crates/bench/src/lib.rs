@@ -9,6 +9,8 @@
 //! binaries default lower to keep a full reproduction run fast) or
 //! `--quick` for a reduced smoke-test grid.
 
+pub mod scenario;
+
 use ldp_bits::{masks_of_weight, Mask};
 use ldp_core::{Estimate, MarginalEstimator, MechanismKind};
 use ldp_data::{movielens::MovieLensGenerator, taxi::TaxiGenerator, BinaryDataset};

@@ -1,0 +1,659 @@
+//! The named benchmark scenario matrix (mechanism × k × n) shared by
+//! `ldp-cli bench` and the figure binaries, plus the machine-readable
+//! `BENCH.json` format the CI regression gate consumes.
+//!
+//! A scenario names a grid of [`ScenarioPoint`]s; [`run_point`] measures
+//! each one with the serving-side metrics the related sketch-serving
+//! systems treat as first-class: ingest throughput (reports/sec into the
+//! accumulator), merge throughput (partial-aggregate merges/sec),
+//! serialized snapshot size, and wire bytes per report. `to_json` /
+//! `parse_bench_json` round-trip the results through the `BENCH.json`
+//! schema documented in `docs/BENCHMARKS.md`, and [`regressions`]
+//! implements the CI gate: flag any point whose ingest throughput drops
+//! more than `max_drop` below a committed baseline.
+
+use crate::DataSource;
+use ldp_core::{user_rng, Accumulator, MechanismKind, MechanismReport};
+use std::time::Instant;
+
+/// One measured grid point: a mechanism at a concrete (d, k, n, ε).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioPoint {
+    /// Mechanism under test.
+    pub mechanism: MechanismKind,
+    /// Domain dimensionality.
+    pub d: u32,
+    /// Target marginal order.
+    pub k: u32,
+    /// Population size.
+    pub n: usize,
+    /// Privacy budget ε.
+    pub eps: f64,
+}
+
+/// A named benchmark scenario: the grid plus its execution parameters.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (`smoke`, `full`).
+    pub name: &'static str,
+    /// The measurement grid.
+    pub points: Vec<ScenarioPoint>,
+    /// Number of partial aggregates the merge measurement folds.
+    pub merge_shards: usize,
+    /// Repetitions per point (rates keep the best rep).
+    pub reps: usize,
+}
+
+impl Scenario {
+    /// The known scenario names.
+    pub const NAMES: [&'static str; 2] = ["smoke", "full"];
+
+    /// Look up a scenario by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        let grid = |ks: &[u32], ns: &[usize]| -> Vec<ScenarioPoint> {
+            let mut points = Vec::new();
+            for &n in ns {
+                for &k in ks {
+                    for mechanism in MechanismKind::ALL {
+                        points.push(ScenarioPoint {
+                            mechanism,
+                            d: 8,
+                            k,
+                            n,
+                            eps: 1.1,
+                        });
+                    }
+                }
+            }
+            points
+        };
+        match name {
+            // Seconds, not minutes: the CI bench-smoke job runs this on
+            // every push.
+            "smoke" => Some(Scenario {
+                name: "smoke",
+                points: grid(&[2], &[20_000]),
+                merge_shards: 8,
+                reps: 3,
+            }),
+            "full" => Some(Scenario {
+                name: "full",
+                points: grid(&[2, 3], &[100_000, 400_000]),
+                merge_shards: 8,
+                reps: 3,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The measurements of one [`ScenarioPoint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointResult {
+    /// The grid point measured.
+    pub point: ScenarioPoint,
+    /// Client encodes/sec (one pass over the population).
+    pub encodes_per_sec: f64,
+    /// Accumulator ingest throughput, reports/sec (best of reps).
+    pub reports_per_sec: f64,
+    /// Partial-aggregate merges/sec (best of reps).
+    pub merges_per_sec: f64,
+    /// Serialized accumulator state size after ingesting all n reports.
+    pub snapshot_bytes: usize,
+    /// Mean serialized report size on the wire.
+    pub bytes_per_report: f64,
+}
+
+/// Floor on every timed region: repeat the measured operation until at
+/// least this much wall time has elapsed, so per-op rates are computed
+/// over a window far above timer resolution (a sub-millisecond region
+/// would make the CI regression gate flaky).
+const MIN_MEASURE_SECS: f64 = 0.05;
+
+/// Repeat `op` until [`MIN_MEASURE_SECS`] has elapsed; returns
+/// `(elapsed, iterations)`.
+fn time_at_least<F: FnMut()>(mut op: F) -> (f64, usize) {
+    let mut iters = 0usize;
+    let t0 = Instant::now();
+    loop {
+        op();
+        iters += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= MIN_MEASURE_SECS {
+            return (elapsed, iters);
+        }
+    }
+}
+
+/// Measure one grid point. `seed` drives both the synthetic population
+/// and the per-user report randomness (via the [`user_rng`] schedule),
+/// so a measurement is exactly reproducible.
+#[must_use]
+pub fn run_point(
+    point: &ScenarioPoint,
+    merge_shards: usize,
+    reps: usize,
+    seed: u64,
+) -> PointResult {
+    assert!(reps >= 1 && merge_shards >= 2);
+    let mech = point.mechanism.build(point.d, point.k, point.eps);
+    let data = if point.d == 8 {
+        DataSource::Taxi.generate(point.d, point.n, seed)
+    } else {
+        DataSource::Skewed.generate(point.d, point.n, seed)
+    };
+
+    // Client pass: encode every user's report once (timed), and account
+    // for the wire size of what they would transmit.
+    let t0 = Instant::now();
+    let reports: Vec<MechanismReport> = data
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(user, &row)| {
+            let mut rng = user_rng(seed, user as u64);
+            mech.encode(row, &mut rng)
+        })
+        .collect();
+    let encode_elapsed = t0.elapsed().as_secs_f64();
+    let wire_bytes: usize = reports.iter().map(|r| r.to_bytes().len()).sum();
+
+    // Snapshot size after one full ingest (state size is count-invariant,
+    // so this is independent of the timing loops below).
+    let mut acc = mech.accumulator();
+    acc.absorb_batch(&reports);
+    let snapshot_bytes = acc.to_bytes().len();
+
+    // Server ingest: absorb the full report buffer repeatedly inside a
+    // ≥ MIN_MEASURE_SECS window; best rate over `reps`.
+    let mut best_ingest = 0.0f64;
+    for _ in 0..reps {
+        let mut sink = mech.accumulator();
+        let (elapsed, iters) = time_at_least(|| {
+            sink.absorb_batch(&reports);
+            std::hint::black_box(&sink);
+        });
+        best_ingest = best_ingest.max(point.n as f64 * iters as f64 / elapsed);
+    }
+
+    // Merge: fold `merge_shards` partial aggregates (each holding an
+    // n/shards slice) into one. The fold consumes its inputs, so each
+    // iteration re-clones the parts; a clone-only loop is timed
+    // separately and subtracted to isolate the merge cost.
+    let chunk = point.n.div_ceil(merge_shards).max(1);
+    let parts: Vec<_> = reports
+        .chunks(chunk)
+        .map(|slice| {
+            let mut part = mech.accumulator();
+            part.absorb_batch(slice);
+            part
+        })
+        .collect();
+    let merges = parts.len().saturating_sub(1).max(1);
+    let mut best_merge = 0.0f64;
+    for _ in 0..reps {
+        let (clone_elapsed, clone_iters) = time_at_least(|| {
+            std::hint::black_box(parts.clone());
+        });
+        let (both_elapsed, both_iters) = time_at_least(|| {
+            let mut fold = parts.clone().into_iter();
+            let mut base = fold.next().expect("at least one shard");
+            for part in fold {
+                base.merge(part);
+            }
+            std::hint::black_box(&base);
+        });
+        let clone_per_iter = clone_elapsed / clone_iters as f64;
+        let both_per_iter = both_elapsed / both_iters as f64;
+        // Guard against clone jitter swallowing the whole measurement.
+        let merge_per_iter = (both_per_iter - clone_per_iter).max(both_per_iter * 0.05);
+        best_merge = best_merge.max(merges as f64 / merge_per_iter);
+    }
+
+    PointResult {
+        point: *point,
+        encodes_per_sec: point.n as f64 / encode_elapsed.max(1e-9),
+        reports_per_sec: best_ingest,
+        merges_per_sec: best_merge,
+        snapshot_bytes,
+        bytes_per_report: wire_bytes as f64 / point.n as f64,
+    }
+}
+
+/// Run every point of a scenario, invoking `progress` after each one
+/// (for CLI logging; pass `|_| ()` to stay quiet).
+#[must_use]
+pub fn run_scenario<F: FnMut(&PointResult)>(
+    scenario: &Scenario,
+    seed: u64,
+    mut progress: F,
+) -> Vec<PointResult> {
+    scenario
+        .points
+        .iter()
+        .map(|point| {
+            let result = run_point(point, scenario.merge_shards, scenario.reps, seed);
+            progress(&result);
+            result
+        })
+        .collect()
+}
+
+/// Serialize results into the `BENCH.json` document (schema v1; see
+/// `docs/BENCHMARKS.md`).
+#[must_use]
+pub fn to_json(scenario_name: &str, results: &[PointResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"scenario\": \"{scenario_name}\",\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mechanism\": \"{}\", \"d\": {}, \"k\": {}, \"n\": {}, \"eps\": {}, \
+             \"encodes_per_sec\": {:.1}, \"reports_per_sec\": {:.1}, \"merges_per_sec\": {:.1}, \
+             \"snapshot_bytes\": {}, \"bytes_per_report\": {:.2}}}{}\n",
+            r.point.mechanism.name(),
+            r.point.d,
+            r.point.k,
+            r.point.n,
+            r.point.eps,
+            r.encodes_per_sec,
+            r.reports_per_sec,
+            r.merges_per_sec,
+            r.snapshot_bytes,
+            r.bytes_per_report,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a `BENCH.json` document back into its scenario name and
+/// results. Hand-rolled (the workspace builds offline, with no serde);
+/// accepts exactly the subset of JSON that [`to_json`] emits, plus
+/// arbitrary whitespace.
+pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String> {
+    let root = json::parse(text)?;
+    let obj = root.as_object().ok_or("top level is not an object")?;
+    let scenario = json::get(obj, "scenario")?
+        .as_str()
+        .ok_or("\"scenario\" is not a string")?
+        .to_string();
+    let results = json::get(obj, "results")?
+        .as_array()
+        .ok_or("\"results\" is not an array")?;
+    let mut out = Vec::new();
+    for entry in results {
+        let e = entry.as_object().ok_or("result entry is not an object")?;
+        let name = json::get(e, "mechanism")?
+            .as_str()
+            .ok_or("\"mechanism\" is not a string")?;
+        let mechanism = MechanismKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| format!("unknown mechanism {name:?}"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            json::get(e, key)?
+                .as_f64()
+                .ok_or_else(|| format!("{key:?} is not a number"))
+        };
+        out.push(PointResult {
+            point: ScenarioPoint {
+                mechanism,
+                d: num("d")? as u32,
+                k: num("k")? as u32,
+                n: num("n")? as usize,
+                eps: num("eps")?,
+            },
+            encodes_per_sec: num("encodes_per_sec")?,
+            reports_per_sec: num("reports_per_sec")?,
+            merges_per_sec: num("merges_per_sec")?,
+            snapshot_bytes: num("snapshot_bytes")? as usize,
+            bytes_per_report: num("bytes_per_report")?,
+        });
+    }
+    Ok((scenario, out))
+}
+
+/// The CI regression gate: one message per grid point whose ingest
+/// throughput dropped more than `max_drop` (a fraction, e.g. `0.30`)
+/// below the baseline. Points missing from either side are reported too
+/// — a silently narrowed grid must not pass as "no regressions".
+#[must_use]
+pub fn regressions(
+    current: &[PointResult],
+    baseline: &[PointResult],
+    max_drop: f64,
+) -> Vec<String> {
+    let key = |p: &ScenarioPoint| (p.mechanism.name(), p.d, p.k, p.n, p.eps.to_bits());
+    let mut problems = Vec::new();
+    for base in baseline {
+        match current.iter().find(|c| key(&c.point) == key(&base.point)) {
+            None => problems.push(format!(
+                "{} d={} k={} n={}: missing from current results",
+                base.point.mechanism.name(),
+                base.point.d,
+                base.point.k,
+                base.point.n
+            )),
+            Some(cur) => {
+                let floor = base.reports_per_sec * (1.0 - max_drop);
+                if cur.reports_per_sec < floor {
+                    problems.push(format!(
+                        "{} d={} k={} n={}: {:.0} reports/sec is {:.0}% below baseline {:.0} \
+                         (floor {:.0})",
+                        cur.point.mechanism.name(),
+                        cur.point.d,
+                        cur.point.k,
+                        cur.point.n,
+                        cur.reports_per_sec,
+                        (1.0 - cur.reports_per_sec / base.reports_per_sec) * 100.0,
+                        base.reports_per_sec,
+                        floor
+                    ));
+                }
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| key(&b.point) == key(&cur.point)) {
+            problems.push(format!(
+                "{} d={} k={} n={}: not in the baseline — refresh it so this point is gated",
+                cur.point.mechanism.name(),
+                cur.point.d,
+                cur.point.k,
+                cur.point.n
+            ));
+        }
+    }
+    problems
+}
+
+/// Minimal JSON reader for the `BENCH.json` subset (objects, arrays,
+/// strings without escapes beyond `\"` and `\\`, numbers, booleans,
+/// null).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number, as `f64`.
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Fetch a required object field.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing JSON content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == ch {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(ch), *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of JSON".to_string()),
+        }
+    }
+
+    fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    out.push(char::from(c));
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_point(mechanism: MechanismKind) -> ScenarioPoint {
+        ScenarioPoint {
+            mechanism,
+            d: 4,
+            k: 2,
+            n: 2_000,
+            eps: 1.1,
+        }
+    }
+
+    #[test]
+    fn known_scenarios_resolve_and_unknown_do_not() {
+        for name in Scenario::NAMES {
+            let s = Scenario::by_name(name).unwrap();
+            assert_eq!(s.name, name);
+            assert!(!s.points.is_empty());
+        }
+        assert!(Scenario::by_name("nope").is_none());
+        // The smoke grid covers every mechanism.
+        let smoke = Scenario::by_name("smoke").unwrap();
+        for kind in MechanismKind::ALL {
+            assert!(smoke.points.iter().any(|p| p.mechanism == kind));
+        }
+    }
+
+    #[test]
+    fn run_point_produces_finite_positive_metrics() {
+        let r = run_point(&tiny_point(MechanismKind::MargPs), 4, 1, 7);
+        assert!(r.encodes_per_sec > 0.0 && r.encodes_per_sec.is_finite());
+        assert!(r.reports_per_sec > 0.0 && r.reports_per_sec.is_finite());
+        assert!(r.merges_per_sec > 0.0 && r.merges_per_sec.is_finite());
+        assert!(r.snapshot_bytes > 0);
+        assert!(r.bytes_per_report > 0.0);
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let results = vec![
+            run_point(&tiny_point(MechanismKind::InpHt), 4, 1, 7),
+            run_point(&tiny_point(MechanismKind::InpEm), 4, 1, 7),
+        ];
+        let text = to_json("smoke", &results);
+        let (name, back) = parse_bench_json(&text).unwrap();
+        assert_eq!(name, "smoke");
+        assert_eq!(back.len(), results.len());
+        for (b, r) in back.iter().zip(&results) {
+            assert_eq!(b.point.mechanism, r.point.mechanism);
+            assert_eq!(b.snapshot_bytes, r.snapshot_bytes);
+            // Rates go through a one-decimal text form.
+            assert!((b.reports_per_sec - r.reports_per_sec).abs() <= 0.06);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_bench_json("").is_err());
+        assert!(parse_bench_json("{\"scenario\": \"x\"}").is_err()); // no results
+        assert!(parse_bench_json("{\"scenario\": 3, \"results\": []}").is_err());
+        assert!(parse_bench_json("[1,2,3]").is_err());
+        assert!(parse_bench_json("{\"scenario\": \"x\", \"results\": []} trailing").is_err());
+        let bad_mech = r#"{"scenario": "x", "results": [{"mechanism": "Nope", "d": 4,
+            "k": 2, "n": 10, "eps": 1.0, "encodes_per_sec": 1, "reports_per_sec": 1,
+            "merges_per_sec": 1, "snapshot_bytes": 1, "bytes_per_report": 1}]}"#;
+        assert!(parse_bench_json(bad_mech).is_err());
+    }
+
+    #[test]
+    fn regression_gate_flags_drops_and_missing_points() {
+        let base = run_point(&tiny_point(MechanismKind::MargHt), 4, 1, 7);
+        let mut slow = base.clone();
+        slow.reports_per_sec = base.reports_per_sec * 0.5;
+        let mut fine = base.clone();
+        fine.reports_per_sec = base.reports_per_sec * 0.8;
+
+        // 50% drop trips a 30% gate; 20% drop does not.
+        assert_eq!(
+            regressions(&[slow.clone()], std::slice::from_ref(&base), 0.30).len(),
+            1
+        );
+        assert!(regressions(&[fine], std::slice::from_ref(&base), 0.30).is_empty());
+        // A point missing from either side is itself a failure: dropped
+        // from the run, or added without a baseline entry to gate it.
+        assert_eq!(regressions(&[], std::slice::from_ref(&base), 0.30).len(), 1);
+        assert_eq!(regressions(std::slice::from_ref(&base), &[], 0.30).len(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! The five `ldp-cli` subcommands.
+
+use crate::flags::Flags;
+use crate::spec::{
+    header_for, Client, PipelineAccumulator, PipelineEstimate, Protocol, SketchShape,
+};
+use ldp_bench::scenario::{parse_bench_json, regressions, run_scenario, to_json, Scenario};
+use ldp_bench::DataSource;
+use ldp_bits::{masks_of_weight, Mask};
+use ldp_core::frame::{read_snapshot, write_snapshot, FrameReader, FrameWriter, StreamHeader};
+use ldp_core::{clamp_normalize, user_rng, MarginalEstimator};
+use ldp_oracles::FrequencyOracle;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Open `path` for reading (`-` is stdin).
+fn open_input(path: &str) -> Result<Box<dyn BufRead>, String> {
+    if path == "-" {
+        Ok(Box::new(BufReader::new(std::io::stdin())))
+    } else {
+        File::open(path)
+            .map(|f| Box::new(BufReader::new(f)) as Box<dyn BufRead>)
+            .map_err(|e| format!("cannot open {path}: {e}"))
+    }
+}
+
+/// Open `path` for writing (`-` is stdout).
+fn open_output(path: &str) -> Result<Box<dyn Write>, String> {
+    if path == "-" {
+        Ok(Box::new(BufWriter::new(std::io::stdout())))
+    } else {
+        File::create(path)
+            .map(|f| Box::new(BufWriter::new(f)) as Box<dyn Write>)
+            .map_err(|e| format!("cannot create {path}: {e}"))
+    }
+}
+
+/// Read the mandatory header frame that opens every report stream.
+fn read_stream_header<R: Read>(
+    reader: &mut FrameReader<R>,
+    what: &str,
+) -> Result<StreamHeader, String> {
+    let frame = reader
+        .next_frame()
+        .map_err(|e| format!("{what}: {e}"))?
+        .ok_or_else(|| format!("{what}: empty stream (expected a header frame)"))?;
+    StreamHeader::from_bytes(&frame).map_err(|e| format!("{what}: bad header frame: {e}"))
+}
+
+/// `encode`: CSV rows in, framed report stream out.
+pub fn encode(flags: &Flags) -> Result<(), String> {
+    let protocol = Protocol::parse(flags.require("protocol")?)?;
+    let d: u32 = flags.parsed("d", 8)?;
+    let k: u32 = flags.parsed("k", 2)?;
+    let eps: f64 = flags.parsed("eps", 1.1)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let first_user: u64 = flags.parsed("first-user", 0)?;
+    let sketch = SketchShape {
+        hashes: flags.parsed("hashes", 5)?,
+        width: flags.parsed("width", 256)?,
+        family_seed: flags.parsed("family-seed", 1)?,
+    };
+    if !(1..=63).contains(&d) {
+        return Err(format!("--d must be in 1..=63, got {d}"));
+    }
+    if k < 1 || k > d {
+        return Err(format!("--k must be in 1..={d}, got {k}"));
+    }
+
+    let rows: Vec<u64> = match flags.get("generate") {
+        Some(source_name) => {
+            let n: usize = flags.parsed("n", 10_000)?;
+            let source = match source_name {
+                "taxi" => DataSource::Taxi,
+                "movielens" => DataSource::MovieLens,
+                "skewed" => DataSource::Skewed,
+                other => {
+                    return Err(format!(
+                        "unknown --generate source {other:?}; expected taxi, movielens or skewed"
+                    ))
+                }
+            };
+            source.generate(d, n, seed).rows().to_vec()
+        }
+        None => {
+            let input = flags.get("input").unwrap_or("-");
+            ldp_data::csv::read_rows(open_input(input)?, d).map_err(|e| e.to_string())?
+        }
+    };
+
+    let header = header_for(protocol, d, k, eps, sketch);
+    // Build the client from the header (not the flags) so `encode`
+    // exercises the exact rehydration path a remote peer would use.
+    let client = Client::from_header(&header)?;
+
+    let out = open_output(flags.get("output").unwrap_or("-"))?;
+    let mut writer = FrameWriter::new(out);
+    writer
+        .write_frame(&header.to_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut wire_bytes = 0usize;
+    for (i, &row) in rows.iter().enumerate() {
+        let mut rng = user_rng(seed, first_user + i as u64);
+        let report = client.encode_report(row, &mut rng);
+        wire_bytes += report.len();
+        writer.write_frame(&report).map_err(|e| e.to_string())?;
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "encoded {} {} reports ({} wire bytes, users {}..{})",
+        rows.len(),
+        protocol.name(),
+        wire_bytes,
+        first_user,
+        first_user + rows.len() as u64
+    );
+    Ok(())
+}
+
+/// `ingest`: fold a report stream into a snapshot.
+pub fn ingest(flags: &Flags) -> Result<(), String> {
+    let input = flags.get("input").unwrap_or("-");
+    let mut reader = FrameReader::new(open_input(input)?);
+    let header = read_stream_header(&mut reader, "report stream")?;
+    let mut acc = PipelineAccumulator::empty(&header)?;
+    while let Some(frame) = reader
+        .next_frame()
+        .map_err(|e| format!("report stream: {e}"))?
+    {
+        acc.absorb_report(&frame)?;
+    }
+    let out = open_output(flags.get("output").unwrap_or("-"))?;
+    let state = acc.to_bytes();
+    write_snapshot(out, &header, &state).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingested {} reports into a {}-byte snapshot",
+        acc.report_count(),
+        state.len()
+    );
+    Ok(())
+}
+
+/// `merge`: combine N snapshots of the same pipeline into one.
+pub fn merge(flags: &Flags) -> Result<(), String> {
+    let inputs = flags.positional();
+    if inputs.is_empty() {
+        return Err("merge needs at least one snapshot path".to_string());
+    }
+    let mut merged: Option<(StreamHeader, PipelineAccumulator)> = None;
+    for path in inputs {
+        let (header, state) =
+            read_snapshot(open_input(path)?).map_err(|e| format!("{path}: {e}"))?;
+        let acc =
+            PipelineAccumulator::from_state(&header, &state).map_err(|e| format!("{path}: {e}"))?;
+        merged = Some(match merged {
+            None => (header, acc),
+            Some((base_header, mut base)) => {
+                if header != base_header {
+                    return Err(format!(
+                        "{path}: snapshot header differs from {} — refusing to merge \
+                         partial aggregates of different pipelines",
+                        inputs[0]
+                    ));
+                }
+                base.merge(acc).map_err(|e| format!("{path}: {e}"))?;
+                (base_header, base)
+            }
+        });
+    }
+    let (header, acc) = merged.expect("at least one snapshot");
+    let state = acc.to_bytes();
+    let out = open_output(flags.get("output").unwrap_or("-"))?;
+    write_snapshot(out, &header, &state).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} snapshots: {} reports, {} state bytes",
+        inputs.len(),
+        acc.report_count(),
+        state.len()
+    );
+    Ok(())
+}
+
+/// Parse `--marginal 0,3` into a mask over `d` attributes.
+fn parse_marginal(text: &str, d: u32) -> Result<Mask, String> {
+    let mut attrs = Vec::new();
+    for field in text.split(',') {
+        let attr: u32 = field
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad attribute index {field:?} in --marginal"))?;
+        if attr >= d {
+            return Err(format!("attribute {attr} is outside the d = {d} domain"));
+        }
+        if attrs.contains(&attr) {
+            return Err(format!("attribute {attr} repeats in --marginal"));
+        }
+        attrs.push(attr);
+    }
+    if attrs.is_empty() {
+        return Err("--marginal needs at least one attribute".to_string());
+    }
+    attrs.sort_unstable();
+    Ok(Mask::from_attrs(&attrs))
+}
+
+/// Attribute list of a mask, for output labels (`0+3`).
+fn mask_label(mask: Mask) -> String {
+    mask.attrs()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// `query`: finalize a snapshot into estimates.
+pub fn query(flags: &Flags) -> Result<(), String> {
+    let input = flags.get("input").unwrap_or("-");
+    let format = flags.get("format").unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return Err(format!("--format must be csv or json, got {format:?}"));
+    }
+    let normalize = flags.has("normalize");
+    let (header, state) = read_snapshot(open_input(input)?).map_err(|e| format!("{input}: {e}"))?;
+    let acc = PipelineAccumulator::from_state(&header, &state)?;
+    let reports = acc.report_count();
+    if reports == 0 {
+        return Err("snapshot holds no reports; nothing to estimate".to_string());
+    }
+    let protocol = if let Some(kind) = header.mechanism_kind() {
+        kind.name()
+    } else {
+        ldp_oracles::OracleKind::from_wire_tag(header.protocol)
+            .map(|k| k.name())
+            .unwrap_or("?")
+    };
+    let mut out = open_output(flags.get("output").unwrap_or("-"))?;
+
+    match acc.finalize() {
+        PipelineEstimate::Mechanism(est) => {
+            let k_query = header.k.min(est.max_k());
+            let masks: Vec<Mask> = match flags.get("marginal") {
+                Some(text) => {
+                    let mask = parse_marginal(text, header.d)?;
+                    if mask.weight() > est.max_k() {
+                        return Err(format!(
+                            "marginal order {} exceeds the collected k = {}",
+                            mask.weight(),
+                            est.max_k()
+                        ));
+                    }
+                    vec![mask]
+                }
+                None => masks_of_weight(header.d, k_query).collect(),
+            };
+            let table_for = |mask: Mask| -> Vec<f64> {
+                let raw = est.marginal(mask);
+                if normalize {
+                    clamp_normalize(&raw)
+                } else {
+                    raw
+                }
+            };
+            match format {
+                "csv" => {
+                    writeln!(out, "marginal,cell,estimate").map_err(|e| e.to_string())?;
+                    for &mask in &masks {
+                        let label = mask_label(mask);
+                        for (cell, v) in table_for(mask).iter().enumerate() {
+                            writeln!(out, "{label},{cell},{v}").map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                _ => {
+                    writeln!(
+                        out,
+                        "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"k\": {}, \
+                         \"reports\": {reports}, \"normalized\": {normalize},",
+                        header.d, header.k
+                    )
+                    .map_err(|e| e.to_string())?;
+                    writeln!(out, "  \"marginals\": [").map_err(|e| e.to_string())?;
+                    for (i, &mask) in masks.iter().enumerate() {
+                        let attrs: Vec<String> = mask.attrs().map(|a| a.to_string()).collect();
+                        let table: Vec<String> =
+                            table_for(mask).iter().map(|v| v.to_string()).collect();
+                        writeln!(
+                            out,
+                            "    {{\"attrs\": [{}], \"table\": [{}]}}{}",
+                            attrs.join(", "),
+                            table.join(", "),
+                            if i + 1 == masks.len() { "" } else { "," }
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    writeln!(out, "  ]\n}}").map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        PipelineEstimate::Oracle(oracle) => {
+            let values: Vec<u64> = match flags.get("value") {
+                Some(text) => {
+                    let v: u64 = text.parse().map_err(|_| format!("bad --value {text:?}"))?;
+                    if header.d < 64 && v >> header.d != 0 {
+                        return Err(format!("value {v} is outside the d = {} domain", header.d));
+                    }
+                    vec![v]
+                }
+                None => {
+                    if header.d > 24 {
+                        return Err(format!(
+                            "full-domain query over 2^{} values is too large; pass --value",
+                            header.d
+                        ));
+                    }
+                    (0..(1u64 << header.d)).collect()
+                }
+            };
+            match format {
+                "csv" => {
+                    writeln!(out, "value,estimate").map_err(|e| e.to_string())?;
+                    for &v in &values {
+                        writeln!(out, "{v},{}", oracle.estimate(v)).map_err(|e| e.to_string())?;
+                    }
+                }
+                _ => {
+                    writeln!(
+                        out,
+                        "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"reports\": {reports},",
+                        header.d
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let cells: Vec<String> = values
+                        .iter()
+                        .map(|&v| {
+                            format!("{{\"value\": {v}, \"estimate\": {}}}", oracle.estimate(v))
+                        })
+                        .collect();
+                    writeln!(out, "  \"frequencies\": [{}]\n}}", cells.join(", "))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `bench`: run a named scenario, emit `BENCH.json`, optionally gate
+/// against a committed baseline.
+pub fn bench(flags: &Flags) -> Result<(), String> {
+    if flags.has("list") {
+        for name in Scenario::NAMES {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    let name = flags.require("scenario")?;
+    let scenario = Scenario::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario {name:?}; known scenarios: {}",
+            Scenario::NAMES.join(", ")
+        )
+    })?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let max_regress: f64 = flags.parsed("max-regress", 0.30)?;
+    if !(0.0..1.0).contains(&max_regress) {
+        return Err(format!(
+            "--max-regress must be in [0, 1), got {max_regress}"
+        ));
+    }
+
+    eprintln!(
+        "scenario {} ({} points, {} shards, best of {} reps)",
+        scenario.name,
+        scenario.points.len(),
+        scenario.merge_shards,
+        scenario.reps
+    );
+    let results = run_scenario(&scenario, seed, |r| {
+        eprintln!(
+            "  {:>6} d={} k={} n={:>7}: {:>12.0} reports/s  {:>9.0} merges/s  {:>7} snapshot B",
+            r.point.mechanism.name(),
+            r.point.d,
+            r.point.k,
+            r.point.n,
+            r.reports_per_sec,
+            r.merges_per_sec,
+            r.snapshot_bytes
+        );
+    });
+
+    let json = to_json(scenario.name, &results);
+    let output = flags.get("output").unwrap_or("BENCH.json");
+    let mut out = open_output(output)?;
+    out.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    if output != "-" {
+        eprintln!("wrote {output}");
+    }
+
+    if let Some(baseline_path) = flags.get("baseline") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let (baseline_name, baseline) =
+            parse_bench_json(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        if baseline_name != scenario.name {
+            return Err(format!(
+                "baseline {baseline_path} is for scenario {baseline_name:?}, not {:?}",
+                scenario.name
+            ));
+        }
+        let problems = regressions(&results, &baseline, max_regress);
+        if problems.is_empty() {
+            eprintln!(
+                "regression gate: all {} points within {:.0}% of {}",
+                baseline.len(),
+                max_regress * 100.0,
+                baseline_path
+            );
+        } else {
+            for p in &problems {
+                eprintln!("regression: {p}");
+            }
+            return Err(format!(
+                "bench regression gate failed: {} of {} points regressed more than {:.0}%",
+                problems.len(),
+                baseline.len(),
+                max_regress * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `rows`: generate a CSV population (helper for quickstarts and tests).
+pub fn rows(flags: &Flags) -> Result<(), String> {
+    let d: u32 = flags.parsed("d", 8)?;
+    let n: usize = flags.parsed("n", 10_000)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let source = match flags.get("generate").unwrap_or("taxi") {
+        "taxi" => DataSource::Taxi,
+        "movielens" => DataSource::MovieLens,
+        "skewed" => DataSource::Skewed,
+        other => {
+            return Err(format!(
+                "unknown --generate source {other:?}; expected taxi, movielens or skewed"
+            ))
+        }
+    };
+    if !(1..=63).contains(&d) {
+        return Err(format!("--d must be in 1..=63, got {d}"));
+    }
+    let data = source.generate(d, n, seed);
+    let out = open_output(flags.get("output").unwrap_or("-"))?;
+    data.write_csv(out, flags.has("bits"))
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Hand-rolled flag parsing (the workspace builds offline with no
+//! argument-parsing dependency), in the style of the bench binaries but
+//! with named flags, switches, and positional arguments.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line flags for one subcommand.
+pub struct Flags {
+    values: HashMap<&'static str, String>,
+    switches: HashSet<&'static str>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `args` against the subcommand's flag sets. `value_flags`
+    /// take one argument (`--name value`); `switch_flags` take none.
+    /// Anything not starting with `--` is positional.
+    pub fn parse(
+        args: &[String],
+        value_flags: &'static [&'static str],
+        switch_flags: &'static [&'static str],
+    ) -> Result<Flags, String> {
+        let mut flags = Flags {
+            values: HashMap::new(),
+            switches: HashSet::new(),
+            positional: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let token = &args[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if let Some(&known) = value_flags.iter().find(|&&f| f == name) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.values.insert(known, value.clone());
+                    i += 2;
+                } else if let Some(&known) = switch_flags.iter().find(|&&f| f == name) {
+                    flags.switches.insert(known);
+                    i += 1;
+                } else {
+                    return Err(format!(
+                        "unknown flag --{name}; supported: {}{}",
+                        value_flags
+                            .iter()
+                            .map(|f| format!("--{f} V"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        if switch_flags.is_empty() {
+                            String::new()
+                        } else {
+                            format!(
+                                ", {}",
+                                switch_flags
+                                    .iter()
+                                    .map(|f| format!("--{f}"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        }
+                    ));
+                }
+            } else {
+                flags.positional.push(token.clone());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of a flag, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of a mandatory flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// Parse a flag's value, falling back to `default` when absent.
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {text:?}")),
+        }
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        let f = Flags::parse(
+            &to_vec(&["--d", "8", "a.bin", "--bits", "b.bin"]),
+            &["d"],
+            &["bits"],
+        )
+        .unwrap();
+        assert_eq!(f.get("d"), Some("8"));
+        assert_eq!(f.parsed("d", 0u32).unwrap(), 8);
+        assert!(f.has("bits"));
+        assert_eq!(f.positional(), &["a.bin".to_string(), "b.bin".to_string()]);
+        assert_eq!(f.parsed("k", 2u32).unwrap(), 2); // default
+    }
+
+    #[test]
+    fn rejects_unknown_flags_missing_values_and_bad_numbers() {
+        assert!(Flags::parse(&to_vec(&["--nope"]), &["d"], &[]).is_err());
+        assert!(Flags::parse(&to_vec(&["--d"]), &["d"], &[]).is_err());
+        let f = Flags::parse(&to_vec(&["--d", "eight"]), &["d"], &[]).unwrap();
+        assert!(f.parsed("d", 0u32).is_err());
+        assert!(f.require("k").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! `ldp-cli` — the end-to-end LDP marginal-release pipeline as a
+//! process surface.
+//!
+//! Every stage of the paper's collect-and-estimate pipeline is a
+//! subcommand speaking the framed wire format of `ldp_core::frame`, so
+//! the stages compose across real process boundaries:
+//!
+//! ```text
+//! ldp-cli rows --d 8 --n 100000 \
+//!   | ldp-cli encode --protocol inpht --d 8 --k 2 --eps 1.1 \
+//!   | ldp-cli ingest --output snapshot.bin
+//! ldp-cli query --input snapshot.bin --format csv
+//! ```
+//!
+//! Partial aggregates built by independent `ingest` processes are
+//! `merge`d into one snapshot that is byte-identical to a single-process
+//! run — the `Accumulator` partition-invariance law, now crossing
+//! process boundaries (proved end-to-end by `tests/cli_pipeline.rs`).
+
+mod commands;
+mod flags;
+mod spec;
+
+use flags::Flags;
+
+const USAGE: &str = "\
+ldp-cli — marginal release under local differential privacy, as a pipeline
+
+USAGE: ldp-cli <subcommand> [flags]
+
+SUBCOMMANDS
+  rows    Generate a CSV population.
+          --d D (8) --n N (10000) --seed S (42) --generate taxi|movielens|skewed (taxi)
+          --bits (emit 0/1 columns instead of row indices) --output PATH (-)
+  encode  Encode CSV rows (stdin or --input) into a framed report stream.
+          --protocol NAME (required; InpRR InpPS InpHT MargRR MargPS MargHT InpEM OLH CMS HCMS)
+          --d D (8) --k K (2) --eps E (1.1) --seed S (42) --first-user U (0)
+          --hashes G (5) --width W (256) --family-seed F (1)   [oracles only]
+          --generate SRC --n N (synthesize rows instead of reading --input)
+          --input PATH (-) --output PATH (-)
+  ingest  Fold a report stream into a serialized accumulator snapshot.
+          --input PATH (-) --output PATH (-)
+  merge   Combine N snapshots of the same pipeline into one.
+          --output PATH (-)  snapshot paths as positional arguments
+  query   Finalize a snapshot into estimates.
+          --input PATH (-) --format csv|json (csv) --normalize
+          --marginal 0,3 (mechanisms: one marginal instead of all k-way)
+          --value V (oracles: one frequency instead of the full domain)
+          --output PATH (-)
+  bench   Run a named scenario matrix and write machine-readable BENCH.json.
+          --scenario NAME (see --list) --seed S (42) --output PATH (BENCH.json)
+          --baseline PATH --max-regress F (0.30)  [CI regression gate]
+          --list (print known scenarios)
+  help    Print this message.
+
+The per-user randomness follows the user_rng(seed, user) schedule, so an
+encode split across processes (via --first-user) is bit-identical to one
+process encoding everything. See docs/BENCHMARKS.md for the BENCH.json
+schema and README.md for a full pipeline walkthrough.";
+
+fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
+    match subcommand {
+        "rows" => {
+            let f = Flags::parse(rest, &["d", "n", "seed", "generate", "output"], &["bits"])?;
+            commands::rows(&f)
+        }
+        "encode" => {
+            let f = Flags::parse(
+                rest,
+                &[
+                    "protocol",
+                    "d",
+                    "k",
+                    "eps",
+                    "seed",
+                    "first-user",
+                    "hashes",
+                    "width",
+                    "family-seed",
+                    "generate",
+                    "n",
+                    "input",
+                    "output",
+                ],
+                &[],
+            )?;
+            commands::encode(&f)
+        }
+        "ingest" => {
+            let f = Flags::parse(rest, &["input", "output"], &[])?;
+            commands::ingest(&f)
+        }
+        "merge" => {
+            let f = Flags::parse(rest, &["output"], &[])?;
+            commands::merge(&f)
+        }
+        "query" => {
+            let f = Flags::parse(
+                rest,
+                &["input", "output", "format", "marginal", "value"],
+                &["normalize"],
+            )?;
+            commands::query(&f)
+        }
+        "bench" => {
+            let f = Flags::parse(
+                rest,
+                &["scenario", "seed", "output", "baseline", "max-regress"],
+                &["list"],
+            )?;
+            commands::bench(&f)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown subcommand {other:?}; run `ldp-cli help` for usage"
+        )),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((subcommand, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if let Err(message) = dispatch(subcommand, rest) {
+        eprintln!("ldp-cli {subcommand}: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Protocol plumbing shared by the subcommands: one client type and one
+//! accumulator type spanning the seven marginal mechanisms *and* the
+//! three frequency oracles, keyed by the [`StreamHeader`] that travels
+//! as frame 0 of every stream and snapshot.
+
+use ldp_core::frame::StreamHeader;
+use ldp_core::{
+    Accumulator, Estimate, Mechanism, MechanismAccumulator, MechanismKind, MechanismReport,
+};
+use ldp_oracles::{
+    build_oracle, Oracle, OracleAccumulator, OracleEstimate, OracleKind, OracleReport,
+};
+use rand::rngs::SmallRng;
+
+/// A protocol named on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// One of the seven marginal mechanisms.
+    Mechanism(MechanismKind),
+    /// One of the three frequency oracles.
+    Oracle(OracleKind),
+}
+
+impl Protocol {
+    /// Parse a command-line protocol name (case-insensitive).
+    pub fn parse(name: &str) -> Result<Protocol, String> {
+        let lower = name.to_ascii_lowercase();
+        for kind in MechanismKind::ALL {
+            if kind.name().to_ascii_lowercase() == lower {
+                return Ok(Protocol::Mechanism(kind));
+            }
+        }
+        for kind in OracleKind::ALL {
+            if kind.name().to_ascii_lowercase() == lower {
+                return Ok(Protocol::Oracle(kind));
+            }
+        }
+        Err(format!(
+            "unknown protocol {name:?}; expected one of {}",
+            Protocol::names().join(", ")
+        ))
+    }
+
+    /// Every accepted protocol name, in display form.
+    pub fn names() -> Vec<&'static str> {
+        MechanismKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .chain(OracleKind::ALL.iter().map(|k| k.name()))
+            .collect()
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Mechanism(k) => k.name(),
+            Protocol::Oracle(k) => k.name(),
+        }
+    }
+}
+
+/// The sketch shape flags (`--hashes`, `--width`, `--family-seed`) an
+/// oracle pipeline carries in its header; ignored by mechanisms.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchShape {
+    pub hashes: u32,
+    pub width: u32,
+    pub family_seed: u64,
+}
+
+/// Build the stream header for a protocol at concrete parameters.
+pub fn header_for(
+    protocol: Protocol,
+    d: u32,
+    k: u32,
+    eps: f64,
+    sketch: SketchShape,
+) -> StreamHeader {
+    match protocol {
+        Protocol::Mechanism(kind) => StreamHeader::mechanism(kind, d, k, eps),
+        Protocol::Oracle(kind) => StreamHeader::oracle(
+            kind.wire_tag(),
+            d,
+            eps,
+            sketch.hashes,
+            sketch.width,
+            sketch.family_seed,
+        ),
+    }
+}
+
+/// The client half of a pipeline: encodes rows into report frames.
+pub enum Client {
+    Mechanism(Mechanism),
+    Oracle(Oracle),
+}
+
+/// Reject parameter combinations the protocol constructors would panic
+/// on, with a message naming the offending flag/field. Applied to
+/// headers from the command line *and* from incoming streams, so a
+/// corrupt or hostile header degrades to an error instead of crashing
+/// the collector process.
+fn validate_header(header: &StreamHeader) -> Result<(), String> {
+    match header.mechanism_kind() {
+        Some(MechanismKind::InpRr) => {
+            if !(1..=24).contains(&header.d) {
+                return Err(format!(
+                    "InpRR materializes 2^d cells; need d ≤ 24, got {}",
+                    header.d
+                ));
+            }
+        }
+        Some(MechanismKind::InpPs) | Some(MechanismKind::InpEm) => {
+            if !(1..=26).contains(&header.d) {
+                return Err(format!(
+                    "{} materializes 2^d cells; need d ≤ 26, got {}",
+                    header.mechanism_kind().unwrap().name(),
+                    header.d
+                ));
+            }
+        }
+        Some(MechanismKind::MargRr) | Some(MechanismKind::MargPs) | Some(MechanismKind::MargHt) => {
+            if header.k > 16 {
+                return Err(format!(
+                    "{} materializes 2^k marginal tables; need k ≤ 16, got {}",
+                    header.mechanism_kind().unwrap().name(),
+                    header.k
+                ));
+            }
+        }
+        Some(MechanismKind::InpHt) => {}
+        None => match OracleKind::from_wire_tag(header.protocol) {
+            Some(OracleKind::Olh) => {
+                if !(1..=40).contains(&header.d) {
+                    return Err(format!("OLH needs d ≤ 40, got {}", header.d));
+                }
+                // g = ⌈e^ε⌉ + 1 must fit the u8 bucket in OlhReport.
+                if header.eps > 255f64.ln() {
+                    return Err(format!(
+                        "OLH buckets are reported as one byte; need eps ≤ ln(255) ≈ 5.54, got {}",
+                        header.eps
+                    ));
+                }
+            }
+            Some(OracleKind::Cms) | Some(OracleKind::Hcms) => {
+                if !(1..=255).contains(&header.hashes) {
+                    return Err(format!(
+                        "sketch needs 1 ≤ hashes ≤ 255, got {}",
+                        header.hashes
+                    ));
+                }
+                if header.width < 2 || header.width > 1 << 16 {
+                    return Err(format!(
+                        "sketch needs 2 ≤ width ≤ 65536, got {}",
+                        header.width
+                    ));
+                }
+                if OracleKind::from_wire_tag(header.protocol) == Some(OracleKind::Hcms)
+                    && !header.width.is_power_of_two()
+                {
+                    return Err(format!(
+                        "HCMS width must be a power of two, got {}",
+                        header.width
+                    ));
+                }
+            }
+            None => {}
+        },
+    }
+    Ok(())
+}
+
+impl Client {
+    /// Rebuild the client a header describes.
+    pub fn from_header(header: &StreamHeader) -> Result<Client, String> {
+        validate_header(header)?;
+        if let Some(mech) = header.build_mechanism() {
+            return Ok(Client::Mechanism(mech));
+        }
+        if let Some(oracle) = build_oracle(header) {
+            return Ok(Client::Oracle(oracle));
+        }
+        Err(format!(
+            "header names unknown protocol tag {:#04x}",
+            header.protocol
+        ))
+    }
+
+    /// Encode one user's record into a report frame payload.
+    pub fn encode_report(&self, row: u64, rng: &mut SmallRng) -> Vec<u8> {
+        match self {
+            Client::Mechanism(m) => m.encode(row, rng).to_bytes(),
+            Client::Oracle(o) => o.encode(row, rng).to_bytes(),
+        }
+    }
+}
+
+/// The server half: a type-erased accumulator for either protocol
+/// family.
+pub enum PipelineAccumulator {
+    Mechanism(MechanismAccumulator),
+    Oracle(OracleAccumulator),
+}
+
+impl PipelineAccumulator {
+    /// A fresh, empty accumulator matching a header.
+    pub fn empty(header: &StreamHeader) -> Result<Self, String> {
+        match Client::from_header(header)? {
+            Client::Mechanism(m) => Ok(PipelineAccumulator::Mechanism(m.accumulator())),
+            Client::Oracle(o) => Ok(PipelineAccumulator::Oracle(o.accumulator())),
+        }
+    }
+
+    /// Rehydrate serialized accumulator state, verifying it matches the
+    /// snapshot's header.
+    pub fn from_state(header: &StreamHeader, state: &[u8]) -> Result<Self, String> {
+        if state.first() != Some(&header.protocol) {
+            return Err(format!(
+                "snapshot state tag {:?} does not match header protocol {:#04x}",
+                state.first(),
+                header.protocol
+            ));
+        }
+        if header.mechanism_kind().is_some() {
+            MechanismAccumulator::from_bytes(state)
+                .map(PipelineAccumulator::Mechanism)
+                .map_err(|e| format!("bad mechanism snapshot state: {e}"))
+        } else if OracleKind::from_wire_tag(header.protocol).is_some() {
+            OracleAccumulator::from_bytes(state)
+                .map(PipelineAccumulator::Oracle)
+                .map_err(|e| format!("bad oracle snapshot state: {e}"))
+        } else {
+            Err(format!(
+                "header names unknown protocol tag {:#04x}",
+                header.protocol
+            ))
+        }
+    }
+
+    /// Absorb one report frame payload.
+    pub fn absorb_report(&mut self, bytes: &[u8]) -> Result<(), String> {
+        match self {
+            PipelineAccumulator::Mechanism(acc) => {
+                let report = MechanismReport::from_bytes(bytes)
+                    .map_err(|e| format!("bad report frame: {e}"))?;
+                if report.kind() != acc.kind() {
+                    return Err(format!(
+                        "stream mixes protocols: {} accumulator got a {} report",
+                        acc.kind().name(),
+                        report.kind().name()
+                    ));
+                }
+                acc.absorb(&report);
+                Ok(())
+            }
+            PipelineAccumulator::Oracle(acc) => {
+                let report = OracleReport::from_bytes(bytes)
+                    .map_err(|e| format!("bad report frame: {e}"))?;
+                if report.kind() != acc.kind() {
+                    return Err(format!(
+                        "stream mixes protocols: {} accumulator got a {} report",
+                        acc.kind().name(),
+                        report.kind().name()
+                    ));
+                }
+                acc.absorb(&report);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fold another partial aggregate of the same protocol into this
+    /// one.
+    pub fn merge(&mut self, other: PipelineAccumulator) -> Result<(), String> {
+        match (self, other) {
+            (PipelineAccumulator::Mechanism(a), PipelineAccumulator::Mechanism(b)) => {
+                if a.kind() != b.kind() {
+                    return Err(format!(
+                        "cannot merge a {} snapshot into a {} snapshot",
+                        b.kind().name(),
+                        a.kind().name()
+                    ));
+                }
+                a.merge(b);
+                Ok(())
+            }
+            (PipelineAccumulator::Oracle(a), PipelineAccumulator::Oracle(b)) => {
+                if a.kind() != b.kind() {
+                    return Err(format!(
+                        "cannot merge a {} snapshot into a {} snapshot",
+                        b.kind().name(),
+                        a.kind().name()
+                    ));
+                }
+                a.merge(b);
+                Ok(())
+            }
+            _ => Err("cannot merge a mechanism snapshot with an oracle snapshot".to_string()),
+        }
+    }
+
+    /// Reports absorbed so far (summed across merges).
+    pub fn report_count(&self) -> u64 {
+        match self {
+            PipelineAccumulator::Mechanism(a) => a.report_count(),
+            PipelineAccumulator::Oracle(a) => a.report_count(),
+        }
+    }
+
+    /// Serialized state for the snapshot's state frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            PipelineAccumulator::Mechanism(a) => a.to_bytes(),
+            PipelineAccumulator::Oracle(a) => a.to_bytes(),
+        }
+    }
+
+    /// Finalize into the queryable estimate.
+    pub fn finalize(self) -> PipelineEstimate {
+        match self {
+            PipelineAccumulator::Mechanism(a) => PipelineEstimate::Mechanism(a.finalize()),
+            PipelineAccumulator::Oracle(a) => PipelineEstimate::Oracle(a.finalize()),
+        }
+    }
+}
+
+/// What `query` finalizes a snapshot into.
+pub enum PipelineEstimate {
+    Mechanism(Estimate),
+    Oracle(OracleEstimate),
+}

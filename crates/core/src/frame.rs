@@ -1,0 +1,495 @@
+//! Length-framed byte streams and the self-describing stream header —
+//! the process-boundary layer of the pipeline.
+//!
+//! The PR 2 accumulators made partial aggregates *mergeable*; this
+//! module makes them (and the per-user reports that feed them)
+//! *shippable*. Everything the `ldp-cli` binary moves between processes
+//! is a sequence of **frames**: a little-endian `u32` length followed by
+//! that many payload bytes. Two stream shapes are built on top:
+//!
+//! * **report stream** (`ldp-cli encode` output): frame 0 is a
+//!   [`StreamHeader`], every following frame is one serialized
+//!   [`crate::MechanismReport`] (or oracle report);
+//! * **snapshot** (`ldp-cli ingest` / `merge` output): frame 0 is the
+//!   same [`StreamHeader`], frame 1 is the [`crate::Accumulator`] state
+//!   (`to_bytes`), and nothing follows.
+//!
+//! The header repeats the protocol configuration (mechanism kind, `d`,
+//! `k`, `ε`, and the sketch shape for oracles) so a downstream process
+//! can rebuild the matching client or server object without being handed
+//! the originating mechanism — the property that lets
+//! `encode | ingest ×N | merge | query` run as genuinely separate
+//! processes and still be byte-identical to a single-process run.
+
+use crate::wire::{tag, Reader, WireError, Writer};
+use crate::{Mechanism, MechanismKind};
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload length (1 GiB). A length prefix
+/// above this is treated as corruption, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Why a framed stream failed to read or write.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (length prefix or payload).
+    Truncated {
+        /// Bytes the frame still owed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized(u64),
+    /// A header or payload blob failed to decode.
+    Wire(WireError),
+    /// A stream ended before a required frame (named here) appeared.
+    MissingFrame(&'static str),
+    /// A snapshot carried frames after the accumulator state.
+    TrailingFrame,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Wire(e) => write!(f, "bad frame payload: {e}"),
+            FrameError::MissingFrame(what) => write!(f, "stream ended before the {what} frame"),
+            FrameError::TrailingFrame => write!(f, "unexpected frame after the snapshot state"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Write length-prefixed frames to any [`Write`] sink.
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wrap a sink.
+    pub fn new(inner: W) -> Self {
+        FrameWriter { inner }
+    }
+
+    /// Append one frame.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), FrameError> {
+        if payload.len() > MAX_FRAME_LEN as usize {
+            return Err(FrameError::Oversized(payload.len() as u64));
+        }
+        self.inner
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.inner.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) -> Result<(), FrameError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Unwrap the sink (without flushing).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Read length-prefixed frames from any [`Read`] source.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+/// Fill `buf` as far as the source allows, tolerating short reads.
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a source.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner }
+    }
+
+    /// Read the next frame's payload; `Ok(None)` at a clean end of
+    /// stream (the source ends exactly on a frame boundary).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        let got = read_up_to(&mut self.inner, &mut len_bytes)?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < 4 {
+            return Err(FrameError::Truncated { needed: 4, got });
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(u64::from(len)));
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_up_to(&mut self.inner, &mut payload)?;
+        if got < payload.len() {
+            return Err(FrameError::Truncated {
+                needed: len as usize,
+                got,
+            });
+        }
+        Ok(Some(payload))
+    }
+
+    /// Unwrap the source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+/// Frame 0 of every report stream and snapshot: the protocol
+/// configuration a downstream process needs to rebuild the matching
+/// client or server object.
+///
+/// `protocol` is the *accumulator* type tag of [`tag`] (`INP_RR` …
+/// `INP_EM` for mechanisms, `HCMS` / `CMS` / `OLH` for the frequency
+/// oracles), so the header and the accumulator state it precedes name
+/// the protocol the same way. The sketch fields (`hashes`, `width`,
+/// `family_seed`) are zero for mechanisms; `k` is 1 for oracles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamHeader {
+    /// Accumulator type tag from [`tag`] identifying the protocol.
+    pub protocol: u8,
+    /// Domain dimensionality `d`.
+    pub d: u32,
+    /// Target marginal order `k`.
+    pub k: u32,
+    /// Privacy budget ε.
+    pub eps: f64,
+    /// Sketch hash count `g` (oracles only; 0 for mechanisms).
+    pub hashes: u32,
+    /// Sketch row width `w` (oracles only; 0 for mechanisms).
+    pub width: u32,
+    /// Seed of the sketch's public hash family (oracles only).
+    pub family_seed: u64,
+}
+
+impl StreamHeader {
+    /// Header for a mechanism pipeline.
+    #[must_use]
+    pub fn mechanism(kind: MechanismKind, d: u32, k: u32, eps: f64) -> Self {
+        StreamHeader {
+            protocol: kind.wire_tag(),
+            d,
+            k,
+            eps,
+            hashes: 0,
+            width: 0,
+            family_seed: 0,
+        }
+    }
+
+    /// Header for a frequency-oracle pipeline (`protocol` must be one of
+    /// the oracle accumulator tags).
+    #[must_use]
+    pub fn oracle(
+        protocol: u8,
+        d: u32,
+        eps: f64,
+        hashes: u32,
+        width: u32,
+        family_seed: u64,
+    ) -> Self {
+        StreamHeader {
+            protocol,
+            d,
+            k: 1,
+            eps,
+            hashes,
+            width,
+            family_seed,
+        }
+    }
+
+    /// The mechanism kind this header names, if it names one.
+    #[must_use]
+    pub fn mechanism_kind(&self) -> Option<MechanismKind> {
+        MechanismKind::from_wire_tag(self.protocol)
+    }
+
+    /// Rebuild the mechanism this header describes (`None` for oracle
+    /// protocols — see `ldp_oracles::build_oracle` for those).
+    #[must_use]
+    pub fn build_mechanism(&self) -> Option<Mechanism> {
+        self.mechanism_kind()
+            .map(|kind| kind.build(self.d, self.k, self.eps))
+    }
+
+    /// Serialize into the wire form (tag [`tag::STREAM_HEADER`]).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_tag(tag::STREAM_HEADER);
+        w.put_u8(self.protocol);
+        w.put_u32(self.d);
+        w.put_u32(self.k);
+        w.put_f64(self.eps);
+        w.put_u32(self.hashes);
+        w.put_u32(self.width);
+        w.put_u64(self.family_seed);
+        w.into_bytes()
+    }
+
+    /// Decode a header blob, validating the parameter ranges every
+    /// protocol shares.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::with_tag(bytes, tag::STREAM_HEADER)?;
+        let protocol = r.get_u8()?;
+        let d = r.get_u32()?;
+        let k = r.get_u32()?;
+        let eps = r.get_f64()?;
+        let hashes = r.get_u32()?;
+        let width = r.get_u32()?;
+        let family_seed = r.get_u64()?;
+        r.finish()?;
+        if !(1..=63).contains(&d) {
+            return Err(WireError::Invalid("header dimensionality"));
+        }
+        if k < 1 || k > d {
+            return Err(WireError::Invalid("header marginal order"));
+        }
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(WireError::Invalid("header epsilon"));
+        }
+        Ok(StreamHeader {
+            protocol,
+            d,
+            k,
+            eps,
+            hashes,
+            width,
+            family_seed,
+        })
+    }
+}
+
+/// Write a snapshot (header frame + accumulator-state frame) to a sink.
+pub fn write_snapshot<W: Write>(
+    sink: W,
+    header: &StreamHeader,
+    state: &[u8],
+) -> Result<(), FrameError> {
+    let mut w = FrameWriter::new(sink);
+    w.write_frame(&header.to_bytes())?;
+    w.write_frame(state)?;
+    w.flush()
+}
+
+/// Read a snapshot back: the header and the raw accumulator state
+/// (self-describing; decode with `Accumulator::from_bytes`). Rejects
+/// streams with missing or trailing frames.
+pub fn read_snapshot<R: Read>(source: R) -> Result<(StreamHeader, Vec<u8>), FrameError> {
+    let mut r = FrameReader::new(source);
+    let header_bytes = r
+        .next_frame()?
+        .ok_or(FrameError::MissingFrame("stream header"))?;
+    let header = StreamHeader::from_bytes(&header_bytes)?;
+    let state = r
+        .next_frame()?
+        .ok_or(FrameError::MissingFrame("accumulator state"))?;
+    if r.next_frame()?.is_some() {
+        return Err(FrameError::TrailingFrame);
+    }
+    Ok((header, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accumulator;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frames_round_trip_including_empty() {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        w.write_frame(b"alpha").unwrap();
+        w.write_frame(b"").unwrap();
+        w.write_frame(&[0xFFu8; 300]).unwrap();
+        let mut r = FrameReader::new(buf.as_slice());
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"alpha");
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(r.next_frame().unwrap().unwrap(), vec![0xFFu8; 300]);
+        assert!(r.next_frame().unwrap().is_none());
+        // Clean EOF is sticky.
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"abcdef").unwrap();
+        let cut = &buf[..2]; // half a length prefix
+        let mut r = FrameReader::new(cut);
+        assert!(matches!(
+            r.next_frame(),
+            Err(FrameError::Truncated { needed: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"abcdef").unwrap();
+        let cut = &buf[..buf.len() - 3];
+        let mut r = FrameReader::new(cut);
+        assert!(matches!(
+            r.next_frame(),
+            Err(FrameError::Truncated { needed: 6, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_before_allocating() {
+        let bytes = u32::MAX.to_le_bytes();
+        let mut r = FrameReader::new(bytes.as_slice());
+        assert!(matches!(
+            r.next_frame(),
+            Err(FrameError::Oversized(len)) if len == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn header_round_trips_for_every_mechanism_kind() {
+        for kind in MechanismKind::ALL {
+            let header = StreamHeader::mechanism(kind, 8, 2, 1.1);
+            let back = StreamHeader::from_bytes(&header.to_bytes()).unwrap();
+            assert_eq!(back, header);
+            assert_eq!(back.mechanism_kind(), Some(kind));
+            let mech = back.build_mechanism().unwrap();
+            assert_eq!(mech.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn header_rejects_bad_tag_and_bad_fields() {
+        let header = StreamHeader::mechanism(MechanismKind::InpHt, 8, 2, 1.1);
+        let mut bytes = header.to_bytes();
+        bytes[0] = tag::OLH; // not a STREAM_HEADER tag
+        assert!(matches!(
+            StreamHeader::from_bytes(&bytes),
+            Err(WireError::WrongTag { .. })
+        ));
+
+        let bad_eps = StreamHeader {
+            eps: f64::NAN,
+            ..header
+        };
+        assert_eq!(
+            StreamHeader::from_bytes(&bad_eps.to_bytes()),
+            Err(WireError::Invalid("header epsilon"))
+        );
+        let bad_k = StreamHeader { k: 9, ..header };
+        assert_eq!(
+            StreamHeader::from_bytes(&bad_k.to_bytes()),
+            Err(WireError::Invalid("header marginal order"))
+        );
+        let bad_d = StreamHeader {
+            d: 0,
+            k: 0,
+            ..header
+        };
+        assert_eq!(
+            StreamHeader::from_bytes(&bad_d.to_bytes()),
+            Err(WireError::Invalid("header dimensionality"))
+        );
+        let truncated = &header.to_bytes()[..10];
+        assert_eq!(
+            StreamHeader::from_bytes(truncated),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_malformed_streams() {
+        let mech = MechanismKind::MargPs.build(6, 2, 0.8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut acc = mech.accumulator();
+        for u in 0..200u64 {
+            acc.absorb(&mech.encode(u % 64, &mut rng));
+        }
+        let header = StreamHeader::mechanism(MechanismKind::MargPs, 6, 2, 0.8);
+
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &header, &acc.to_bytes()).unwrap();
+        let (back_header, state) = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back_header, header);
+        assert_eq!(state, acc.to_bytes());
+        let back = crate::MechanismAccumulator::from_bytes(&state).unwrap();
+        assert_eq!(back.report_count(), 200);
+
+        // Missing accumulator frame.
+        let mut short = Vec::new();
+        FrameWriter::new(&mut short)
+            .write_frame(&header.to_bytes())
+            .unwrap();
+        assert!(matches!(
+            read_snapshot(short.as_slice()),
+            Err(FrameError::MissingFrame("accumulator state"))
+        ));
+
+        // Trailing frame after the state.
+        let mut long = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut long);
+            w.write_frame(&header.to_bytes()).unwrap();
+            w.write_frame(&acc.to_bytes()).unwrap();
+            w.write_frame(b"junk").unwrap();
+        }
+        assert!(matches!(
+            read_snapshot(long.as_slice()),
+            Err(FrameError::TrailingFrame)
+        ));
+
+        // Empty stream.
+        assert!(matches!(
+            read_snapshot([].as_slice()),
+            Err(FrameError::MissingFrame("stream header"))
+        ));
+    }
+}

@@ -200,7 +200,7 @@ impl Accumulator for InpEmAggregator {
         if !(p > 0.5 && p < 1.0) {
             return Err(WireError::Invalid("InpEM keep probability"));
         }
-        if !(omega > 0.0) || max_iters == 0 {
+        if omega.is_nan() || omega <= 0.0 || max_iters == 0 {
             return Err(WireError::Invalid("InpEM convergence parameters"));
         }
         if total != n {

@@ -40,6 +40,7 @@ mod accumulator;
 mod categorical;
 pub mod consistency;
 mod estimate;
+pub mod frame;
 mod inp_em;
 mod inp_ht;
 mod inp_ps;
@@ -104,6 +105,18 @@ impl MechanismKind {
         MechanismKind::MargHt,
     ];
 
+    /// All seven implemented mechanisms (the six of §4 plus the EM
+    /// heuristic), in the paper's presentation order.
+    pub const ALL: [MechanismKind; 7] = [
+        MechanismKind::InpRr,
+        MechanismKind::InpPs,
+        MechanismKind::InpHt,
+        MechanismKind::MargRr,
+        MechanismKind::MargPs,
+        MechanismKind::MargHt,
+        MechanismKind::InpEm,
+    ];
+
     /// Display name matching the paper.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -130,6 +143,36 @@ impl MechanismKind {
             MechanismKind::MargPs => Mechanism::MargPs(MargPs::new(d, k, eps)),
             MechanismKind::MargHt => Mechanism::MargHt(MargHt::new(d, k, eps)),
             MechanismKind::InpEm => Mechanism::InpEm(InpEm::new(d, eps)),
+        }
+    }
+
+    /// The accumulator type tag (see [`wire::tag`]) naming this
+    /// mechanism in stream headers and serialized state.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MechanismKind::InpRr => wire::tag::INP_RR,
+            MechanismKind::InpPs => wire::tag::INP_PS,
+            MechanismKind::InpHt => wire::tag::INP_HT,
+            MechanismKind::MargRr => wire::tag::MARG_RR,
+            MechanismKind::MargPs => wire::tag::MARG_PS,
+            MechanismKind::MargHt => wire::tag::MARG_HT,
+            MechanismKind::InpEm => wire::tag::INP_EM,
+        }
+    }
+
+    /// Inverse of [`MechanismKind::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            wire::tag::INP_RR => Some(MechanismKind::InpRr),
+            wire::tag::INP_PS => Some(MechanismKind::InpPs),
+            wire::tag::INP_HT => Some(MechanismKind::InpHt),
+            wire::tag::MARG_RR => Some(MechanismKind::MargRr),
+            wire::tag::MARG_PS => Some(MechanismKind::MargPs),
+            wire::tag::MARG_HT => Some(MechanismKind::MargHt),
+            wire::tag::INP_EM => Some(MechanismKind::InpEm),
+            _ => None,
         }
     }
 

@@ -22,12 +22,21 @@
 //! assert_eq!(estimate.marginal(ldp_bits::Mask::from_attrs(&[1, 2])).len(), 4);
 //! ```
 
-use crate::wire::{tag, Reader, WireError};
+use crate::wire::{tag, Reader, WireError, Writer};
 use crate::{
     Accumulator, Estimate, InpHtReport, MargHtReport, MargPsReport, MargRrReport, Mechanism,
     MechanismKind,
 };
 use rand::Rng;
+
+/// Decode a 0/1 byte back into a sign flag.
+fn get_sign(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Invalid("report sign flag")),
+    }
+}
 
 /// One user's report, for any [`MechanismKind`] — what
 /// [`Mechanism::encode`] produces and [`MechanismAccumulator`] absorbs.
@@ -61,6 +70,119 @@ impl MechanismReport {
             MechanismReport::MargPs(_) => MechanismKind::MargPs,
             MechanismReport::MargHt(_) => MechanismKind::MargHt,
             MechanismReport::InpEm(_) => MechanismKind::InpEm,
+        }
+    }
+
+    /// Serialize into a report frame payload (tags `REPORT_*` of
+    /// [`tag`]). This is what one user transmits, so the encodings stay
+    /// as close to the Table 2 communication costs as byte alignment
+    /// allows.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            MechanismReport::InpRr(ones) => {
+                let mut w = Writer::with_tag(tag::REPORT_INP_RR);
+                w.put_u32_slice(ones);
+                w.into_bytes()
+            }
+            MechanismReport::InpPs(cell) => {
+                let mut w = Writer::with_tag(tag::REPORT_INP_PS);
+                w.put_u64(*cell);
+                w.into_bytes()
+            }
+            MechanismReport::InpHt(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_INP_HT);
+                w.put_u32(r.coefficient);
+                w.put_u8(u8::from(r.sign_positive));
+                w.into_bytes()
+            }
+            MechanismReport::MargRr(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_MARG_RR);
+                w.put_u32(r.marginal);
+                w.put_u16_slice(&r.ones);
+                w.into_bytes()
+            }
+            MechanismReport::MargPs(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_MARG_PS);
+                w.put_u32(r.marginal);
+                w.put_u16(r.cell);
+                w.into_bytes()
+            }
+            MechanismReport::MargHt(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_MARG_HT);
+                w.put_u32(r.marginal);
+                w.put_u16(r.coefficient);
+                w.put_u8(u8::from(r.sign_positive));
+                w.into_bytes()
+            }
+            MechanismReport::InpEm(row) => {
+                let mut w = Writer::with_tag(tag::REPORT_INP_EM);
+                w.put_u64(*row);
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decode a report frame payload written by
+    /// [`MechanismReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let found = Reader::peek_tag(bytes);
+        match found {
+            Some(tag::REPORT_INP_RR) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_RR)?;
+                let ones = r.get_u32_vec()?;
+                r.finish()?;
+                Ok(MechanismReport::InpRr(ones))
+            }
+            Some(tag::REPORT_INP_PS) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_PS)?;
+                let cell = r.get_u64()?;
+                r.finish()?;
+                Ok(MechanismReport::InpPs(cell))
+            }
+            Some(tag::REPORT_INP_HT) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_HT)?;
+                let coefficient = r.get_u32()?;
+                let sign_positive = get_sign(&mut r)?;
+                r.finish()?;
+                Ok(MechanismReport::InpHt(InpHtReport {
+                    coefficient,
+                    sign_positive,
+                }))
+            }
+            Some(tag::REPORT_MARG_RR) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_RR)?;
+                let marginal = r.get_u32()?;
+                let ones = r.get_u16_vec()?;
+                r.finish()?;
+                Ok(MechanismReport::MargRr(MargRrReport { marginal, ones }))
+            }
+            Some(tag::REPORT_MARG_PS) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_PS)?;
+                let marginal = r.get_u32()?;
+                let cell = r.get_u16()?;
+                r.finish()?;
+                Ok(MechanismReport::MargPs(MargPsReport { marginal, cell }))
+            }
+            Some(tag::REPORT_MARG_HT) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_HT)?;
+                let marginal = r.get_u32()?;
+                let coefficient = r.get_u16()?;
+                let sign_positive = get_sign(&mut r)?;
+                r.finish()?;
+                Ok(MechanismReport::MargHt(MargHtReport {
+                    marginal,
+                    coefficient,
+                    sign_positive,
+                }))
+            }
+            Some(tag::REPORT_INP_EM) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_EM)?;
+                let row = r.get_u64()?;
+                r.finish()?;
+                Ok(MechanismReport::InpEm(row))
+            }
+            _ => Err(WireError::Invalid("unknown mechanism report tag")),
         }
     }
 }
@@ -344,5 +466,76 @@ mod tests {
     fn rejects_garbage_bytes() {
         assert!(MechanismAccumulator::from_bytes(&[]).is_err());
         assert!(MechanismAccumulator::from_bytes(&[0xFF, 0x01, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn reports_round_trip_through_bytes_for_every_kind() {
+        for kind in MechanismKind::ALL {
+            let mech = kind.build(5, 2, 1.3);
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut acc = mech.accumulator();
+            let mut rehydrated = mech.accumulator();
+            for u in 0..200u64 {
+                let report = mech.encode(u % 32, &mut rng);
+                let bytes = report.to_bytes();
+                let back = MechanismReport::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+                assert_eq!(back, report, "{} report round trip", kind.name());
+                acc.absorb(&report);
+                rehydrated.absorb(&back);
+            }
+            assert_eq!(
+                acc.to_bytes(),
+                rehydrated.to_bytes(),
+                "{} accumulator state diverged after a report wire round trip",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn report_decode_rejects_bad_tag_truncation_and_bad_sign() {
+        assert_eq!(
+            MechanismReport::from_bytes(&[]),
+            Err(WireError::Invalid("unknown mechanism report tag"))
+        );
+        assert_eq!(
+            MechanismReport::from_bytes(&[0x7E, 0x01]),
+            Err(WireError::Invalid("unknown mechanism report tag"))
+        );
+
+        let full = MechanismReport::InpHt(InpHtReport {
+            coefficient: 9,
+            sign_positive: true,
+        })
+        .to_bytes();
+        assert_eq!(
+            MechanismReport::from_bytes(&full[..full.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut bad_sign = full.clone();
+        *bad_sign.last_mut().unwrap() = 2;
+        assert_eq!(
+            MechanismReport::from_bytes(&bad_sign),
+            Err(WireError::Invalid("report sign flag"))
+        );
+
+        // Trailing bytes after a complete report are rejected.
+        let mut long = MechanismReport::InpPs(3).to_bytes();
+        long.push(0);
+        assert_eq!(
+            MechanismReport::from_bytes(&long),
+            Err(WireError::TrailingBytes(1))
+        );
+
+        // A MargRR ones-list that claims more elements than the blob
+        // holds fails before allocating.
+        let mut w = Writer::with_tag(tag::REPORT_MARG_RR);
+        w.put_u32(0);
+        w.put_u32(u32::MAX); // ones-length prefix with no payload
+        assert_eq!(
+            MechanismReport::from_bytes(&w.into_bytes()),
+            Err(WireError::Truncated)
+        );
     }
 }

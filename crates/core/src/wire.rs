@@ -37,6 +37,31 @@ pub mod tag {
     pub const CMS: u8 = 0x12;
     /// `ldp_oracles::OlhAggregator`.
     pub const OLH: u8 = 0x13;
+
+    /// [`crate::MechanismReport::InpRr`] report frame.
+    pub const REPORT_INP_RR: u8 = 0x21;
+    /// [`crate::MechanismReport::InpPs`] report frame.
+    pub const REPORT_INP_PS: u8 = 0x22;
+    /// [`crate::MechanismReport::InpHt`] report frame.
+    pub const REPORT_INP_HT: u8 = 0x23;
+    /// [`crate::MechanismReport::MargRr`] report frame.
+    pub const REPORT_MARG_RR: u8 = 0x24;
+    /// [`crate::MechanismReport::MargPs`] report frame.
+    pub const REPORT_MARG_PS: u8 = 0x25;
+    /// [`crate::MechanismReport::MargHt`] report frame.
+    pub const REPORT_MARG_HT: u8 = 0x26;
+    /// [`crate::MechanismReport::InpEm`] report frame.
+    pub const REPORT_INP_EM: u8 = 0x27;
+    /// `ldp_oracles::OracleReport::Hcms` report frame.
+    pub const REPORT_HCMS: u8 = 0x31;
+    /// `ldp_oracles::OracleReport::Cms` report frame.
+    pub const REPORT_CMS: u8 = 0x32;
+    /// `ldp_oracles::OracleReport::Olh` report frame.
+    pub const REPORT_OLH: u8 = 0x33;
+
+    /// [`crate::frame::StreamHeader`] — frame 0 of report streams and
+    /// snapshots.
+    pub const STREAM_HEADER: u8 = 0x40;
 }
 
 /// The current (and only) wire-format version.
@@ -105,6 +130,11 @@ impl Writer {
         self.buf.push(v);
     }
 
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a `u32`, little-endian.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -138,6 +168,23 @@ impl Writer {
         self.put_u64(vs.len() as u64);
         for &v in vs {
             self.put_i64(v);
+        }
+    }
+
+    /// Append a `u32`-length-prefixed `u16` slice (the compact form used
+    /// by per-report frames, where every byte counts).
+    pub fn put_u16_slice(&mut self, vs: &[u16]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_u16(v);
+        }
+    }
+
+    /// Append a `u32`-length-prefixed `u32` slice (compact report form).
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_u32(v);
         }
     }
 
@@ -189,6 +236,11 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
@@ -226,6 +278,26 @@ impl<'a> Reader<'a> {
             return Err(WireError::Truncated);
         }
         (0..len).map(|_| self.get_i64()).collect()
+    }
+
+    /// Read a `u32`-length-prefixed `u16` vector, rejecting absurd
+    /// lengths before allocating.
+    pub fn get_u16_vec(&mut self) -> Result<Vec<u16>, WireError> {
+        let len = self.get_u32()? as usize;
+        if self.bytes.len() - self.pos < len.saturating_mul(2) {
+            return Err(WireError::Truncated);
+        }
+        (0..len).map(|_| self.get_u16()).collect()
+    }
+
+    /// Read a `u32`-length-prefixed `u32` vector, rejecting absurd
+    /// lengths before allocating.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let len = self.get_u32()? as usize;
+        if self.bytes.len() - self.pos < len.saturating_mul(4) {
+            return Err(WireError::Truncated);
+        }
+        (0..len).map(|_| self.get_u32()).collect()
     }
 
     /// Assert the whole blob was consumed.
@@ -305,5 +377,40 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::with_tag(&bytes, 0x01).unwrap();
         assert_eq!(r.get_u64_vec(), Err(WireError::Truncated));
+
+        // Same overflow guard on the compact u16/u32 report slices.
+        let mut w = Writer::with_tag(0x01);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x01).unwrap();
+        assert_eq!(r.get_u16_vec(), Err(WireError::Truncated));
+        let mut r = Reader::with_tag(&bytes, 0x01).unwrap();
+        assert_eq!(r.get_u32_vec(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn compact_slices_round_trip() {
+        let mut w = Writer::with_tag(0x02);
+        w.put_u16(513);
+        w.put_u16_slice(&[7, 0, u16::MAX]);
+        w.put_u32_slice(&[1, u32::MAX]);
+        w.put_u16_slice(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x02).unwrap();
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert_eq!(r.get_u16_vec().unwrap(), vec![7, 0, u16::MAX]);
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, u32::MAX]);
+        assert_eq!(r.get_u16_vec().unwrap(), Vec::<u16>::new());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_mid_element_is_detected() {
+        let mut w = Writer::with_tag(0x03);
+        w.put_u16_slice(&[1, 2, 3]);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 1); // cut the last element short
+        let mut r = Reader::with_tag(&bytes, 0x03).unwrap();
+        assert_eq!(r.get_u16_vec(), Err(WireError::Truncated));
     }
 }

@@ -1,0 +1,183 @@
+//! CSV row reader shared by the `ldp-cli encode` subcommand and the
+//! dataset loaders ([`crate::BinaryDataset::from_csv`]).
+//!
+//! Two line formats are accepted, and may be mixed within one file:
+//!
+//! * **row index** — a single decimal integer `j ∈ [0, 2^d)`, the
+//!   paper's view of a record as a `d`-bit index (`13` for `d = 4` is
+//!   the record `1101₂`);
+//! * **bit columns** — exactly `d` comma-separated `0`/`1` values,
+//!   attribute 0 first (`1,0,1,1` is the same record: attribute `i` is
+//!   bit `i`).
+//!
+//! Blank lines and lines starting with `#` are skipped.
+
+use std::io::BufRead;
+
+/// Why a CSV row stream failed to load.
+#[derive(Debug)]
+pub enum CsvError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line failed to parse (1-based line number and reason).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "CSV I/O error: {e}"),
+            CsvError::Parse { line, reason } => write!(f, "CSV line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse one non-blank, non-comment line into a `d`-bit record.
+pub fn parse_row(line: &str, d: u32) -> Result<u64, String> {
+    let line = line.trim();
+    let full = if d >= 64 { u64::MAX } else { (1u64 << d) - 1 };
+    if line.contains(',') {
+        let mut row = 0u64;
+        let mut count = 0u32;
+        for (i, field) in line.split(',').enumerate() {
+            if i as u32 >= d {
+                // Bail before shifting past the domain (a 65th column
+                // would overflow the shift below).
+                return Err(format!(
+                    "expected {d} attribute columns, got {}",
+                    line.split(',').count()
+                ));
+            }
+            match field.trim() {
+                "0" => {}
+                "1" => row |= 1u64 << i,
+                other => return Err(format!("expected a 0/1 attribute value, got {other:?}")),
+            }
+            count = i as u32 + 1;
+        }
+        if count != d {
+            return Err(format!("expected {d} attribute columns, got {count}"));
+        }
+        Ok(row)
+    } else {
+        let row: u64 = line
+            .parse()
+            .map_err(|_| format!("expected a row index or 0/1 columns, got {line:?}"))?;
+        if row & !full != 0 {
+            return Err(format!("row index {row} uses attributes outside d = {d}"));
+        }
+        Ok(row)
+    }
+}
+
+/// Read every record from a CSV stream over a `d`-attribute domain.
+pub fn read_rows<R: BufRead>(reader: R, d: u32) -> Result<Vec<u64>, CsvError> {
+    assert!((1..=63).contains(&d), "need 1 ≤ d ≤ 63");
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let row = parse_row(trimmed, d).map_err(|reason| CsvError::Parse {
+            line: i + 1,
+            reason,
+        })?;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Write records as CSV (one line per record). With `bits` set, each
+/// record is written as `d` 0/1 columns; otherwise as its row index.
+pub fn write_rows<W: std::io::Write>(
+    mut writer: W,
+    d: u32,
+    rows: &[u64],
+    bits: bool,
+) -> std::io::Result<()> {
+    for &row in rows {
+        if bits {
+            let cols: Vec<&str> = (0..d)
+                .map(|i| if row >> i & 1 == 1 { "1" } else { "0" })
+                .collect();
+            writeln!(writer, "{}", cols.join(","))?;
+        } else {
+            writeln!(writer, "{row}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_formats() {
+        assert_eq!(parse_row("13", 4).unwrap(), 13);
+        assert_eq!(parse_row("1,0,1,1", 4).unwrap(), 0b1101);
+        assert_eq!(parse_row(" 1 , 0 , 1 , 1 ", 4).unwrap(), 0b1101);
+        assert_eq!(parse_row("0", 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        assert!(parse_row("16", 4).is_err()); // out of domain
+        assert!(parse_row("1,0,1", 4).is_err()); // short column count
+        assert!(parse_row("1,0,1,1,0", 4).is_err()); // long column count
+        assert!(parse_row("1,0,2,1", 4).is_err()); // non-binary value
+        assert!(parse_row("abc", 4).is_err());
+        assert!(parse_row("-3", 4).is_err());
+        // 70 columns must be a parse error, not a shift overflow.
+        let wide = vec!["1"; 70].join(",");
+        assert!(parse_row(&wide, 4).unwrap_err().contains("got 70"));
+    }
+
+    #[test]
+    fn reads_mixed_stream_with_comments() {
+        let text = "# header comment\n13\n\n1,0,1,1\n   \n0\n";
+        let rows = read_rows(text.as_bytes(), 4).unwrap();
+        assert_eq!(rows, vec![13, 0b1101, 0]);
+    }
+
+    #[test]
+    fn reports_offending_line_number() {
+        let text = "3\n7\nbogus\n";
+        match read_rows(text.as_bytes(), 4) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_both_formats() {
+        let rows = vec![0u64, 5, 15, 9];
+        for bits in [false, true] {
+            let mut buf = Vec::new();
+            write_rows(&mut buf, 4, &rows, bits).unwrap();
+            assert_eq!(read_rows(buf.as_slice(), 4).unwrap(), rows);
+        }
+    }
+}

@@ -15,10 +15,13 @@
 //!   activity × per-genre popularity, all pairs positively correlated;
 //! * [`synthetic`] — product-Bernoulli and lightly-skewed full-domain
 //!   distributions (Figure 10);
-//! * [`categorical`] — categorical schemas and the §6.3 binary encoding.
+//! * [`categorical`] — categorical schemas and the §6.3 binary encoding;
+//! * [`csv`] — the CSV row format shared by [`BinaryDataset::from_csv`]
+//!   and the `ldp-cli encode` subcommand.
 
 pub mod categorical;
 mod correlation;
+pub mod csv;
 mod dataset;
 pub mod movielens;
 pub mod synthetic;

@@ -51,6 +51,10 @@ impl Olh {
             e.ceil()
         };
         let g = (ceil as u64 + 1).max(2);
+        assert!(
+            g <= 256,
+            "OLH bucket count g = {g} exceeds the u8 report range; need eps ≤ ln(255)"
+        );
         Olh {
             d,
             g,
@@ -197,7 +201,7 @@ impl Accumulator for OlhAggregator {
             reports.push(OlhReport { seed, bucket });
         }
         r.finish()?;
-        if !(1..=40).contains(&d) || g < 2 || g > 256 {
+        if !(1..=40).contains(&d) || !(2..=256).contains(&g) {
             return Err(WireError::Invalid("OLH configuration"));
         }
         if !(ps > 1.0 / g as f64 && ps < 1.0) {

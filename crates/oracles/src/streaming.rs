@@ -1,0 +1,487 @@
+//! Type-erased oracle client/server pair mirroring
+//! `ldp_core::MechanismAccumulator`: one report enum, one accumulator
+//! enum, one [`FrequencyOracle`] out — so the three frequency oracles
+//! ride the same `encode | ingest | merge | query` pipeline (and the
+//! same snapshot wire format) as the marginal mechanisms.
+
+use crate::{
+    Cms, CmsAggregator, CmsOracle, CmsReport, FrequencyOracle, HadamardCms, HadamardCmsAggregator,
+    HadamardCmsOracle, HcmsReport, Olh, OlhAggregator, OlhOracle, OlhReport,
+};
+use ldp_core::frame::StreamHeader;
+use ldp_core::wire::{tag, Reader, WireError, Writer};
+use ldp_core::Accumulator;
+use rand::Rng;
+
+/// Identifier for one of the three frequency-oracle baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// Optimized Local Hashing (Wang et al.) — see [`Olh`].
+    Olh,
+    /// Count-mean sketch with unary-encoded rows — see [`Cms`].
+    Cms,
+    /// Hadamard count-mean sketch (`InpHTCMS`) — see [`HadamardCms`].
+    Hcms,
+}
+
+impl OracleKind {
+    /// All three oracles, in the Appendix B.2 presentation order.
+    pub const ALL: [OracleKind; 3] = [OracleKind::Olh, OracleKind::Cms, OracleKind::Hcms];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Olh => "OLH",
+            OracleKind::Cms => "CMS",
+            OracleKind::Hcms => "HCMS",
+        }
+    }
+
+    /// The accumulator type tag (see [`tag`]) naming this oracle in
+    /// stream headers and serialized state.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            OracleKind::Olh => tag::OLH,
+            OracleKind::Cms => tag::CMS,
+            OracleKind::Hcms => tag::HCMS,
+        }
+    }
+
+    /// Inverse of [`OracleKind::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(t: u8) -> Option<Self> {
+        match t {
+            tag::OLH => Some(OracleKind::Olh),
+            tag::CMS => Some(OracleKind::Cms),
+            tag::HCMS => Some(OracleKind::Hcms),
+            _ => None,
+        }
+    }
+
+    /// Build the oracle for a `d`-attribute domain under `ε`-LDP. The
+    /// sketch shape (`hashes` rows of width `width`, hash family drawn
+    /// from `family_seed`) applies to the two CMS variants; OLH ignores
+    /// it.
+    #[must_use]
+    pub fn build(self, d: u32, eps: f64, hashes: usize, width: usize, family_seed: u64) -> Oracle {
+        match self {
+            OracleKind::Olh => Oracle::Olh(Olh::new(d, eps)),
+            OracleKind::Cms => Oracle::Cms(Cms::new(d, eps, hashes, width, family_seed)),
+            OracleKind::Hcms => Oracle::Hcms(HadamardCms::new(d, eps, hashes, width, family_seed)),
+        }
+    }
+}
+
+/// A built frequency oracle, ready to encode reports — the oracle
+/// counterpart of `ldp_core::Mechanism`.
+#[derive(Clone, Debug)]
+pub enum Oracle {
+    /// See [`Olh`].
+    Olh(Olh),
+    /// See [`Cms`].
+    Cms(Cms),
+    /// See [`HadamardCms`].
+    Hcms(HadamardCms),
+}
+
+impl Oracle {
+    /// Which kind this is.
+    #[must_use]
+    pub fn kind(&self) -> OracleKind {
+        match self {
+            Oracle::Olh(_) => OracleKind::Olh,
+            Oracle::Cms(_) => OracleKind::Cms,
+            Oracle::Hcms(_) => OracleKind::Hcms,
+        }
+    }
+
+    /// Client side: encode one user's value, consuming their private
+    /// randomness.
+    #[must_use]
+    pub fn encode<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> OracleReport {
+        match self {
+            Oracle::Olh(o) => OracleReport::Olh(o.encode(row, rng)),
+            Oracle::Cms(o) => OracleReport::Cms(o.encode(row, rng)),
+            Oracle::Hcms(o) => OracleReport::Hcms(o.encode(row, rng)),
+        }
+    }
+
+    /// Server side: a fresh, empty accumulator matching this oracle's
+    /// configuration.
+    #[must_use]
+    pub fn accumulator(&self) -> OracleAccumulator {
+        match self {
+            Oracle::Olh(o) => OracleAccumulator::Olh(o.aggregator()),
+            Oracle::Cms(o) => OracleAccumulator::Cms(o.aggregator()),
+            Oracle::Hcms(o) => OracleAccumulator::Hcms(o.aggregator()),
+        }
+    }
+}
+
+/// Rebuild the oracle a [`StreamHeader`] describes (`None` when the
+/// header names a marginal mechanism instead — see
+/// `StreamHeader::build_mechanism` for those).
+#[must_use]
+pub fn build_oracle(header: &StreamHeader) -> Option<Oracle> {
+    OracleKind::from_wire_tag(header.protocol).map(|kind| {
+        kind.build(
+            header.d,
+            header.eps,
+            header.hashes as usize,
+            header.width as usize,
+            header.family_seed,
+        )
+    })
+}
+
+/// Stream-header describing an oracle pipeline (the counterpart of
+/// `StreamHeader::mechanism`).
+#[must_use]
+pub fn oracle_header(
+    kind: OracleKind,
+    d: u32,
+    eps: f64,
+    hashes: usize,
+    width: usize,
+    family_seed: u64,
+) -> StreamHeader {
+    StreamHeader::oracle(
+        kind.wire_tag(),
+        d,
+        eps,
+        hashes as u32,
+        width as u32,
+        family_seed,
+    )
+}
+
+/// One user's report, for any [`OracleKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleReport {
+    /// See [`OlhReport`].
+    Olh(OlhReport),
+    /// See [`CmsReport`].
+    Cms(CmsReport),
+    /// See [`HcmsReport`].
+    Hcms(HcmsReport),
+}
+
+impl OracleReport {
+    /// Which oracle this report belongs to.
+    #[must_use]
+    pub fn kind(&self) -> OracleKind {
+        match self {
+            OracleReport::Olh(_) => OracleKind::Olh,
+            OracleReport::Cms(_) => OracleKind::Cms,
+            OracleReport::Hcms(_) => OracleKind::Hcms,
+        }
+    }
+
+    /// Serialize into a report frame payload (tags `REPORT_*` of
+    /// [`tag`]).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            OracleReport::Olh(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_OLH);
+                w.put_u64(r.seed);
+                w.put_u8(r.bucket);
+                w.into_bytes()
+            }
+            OracleReport::Cms(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_CMS);
+                w.put_u8(r.row);
+                w.put_u16_slice(&r.ones);
+                w.into_bytes()
+            }
+            OracleReport::Hcms(r) => {
+                let mut w = Writer::with_tag(tag::REPORT_HCMS);
+                w.put_u8(r.row);
+                w.put_u16(r.coefficient);
+                w.put_u8(u8::from(r.sign_positive));
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decode a report frame payload written by
+    /// [`OracleReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        match Reader::peek_tag(bytes) {
+            Some(tag::REPORT_OLH) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_OLH)?;
+                let seed = r.get_u64()?;
+                let bucket = r.get_u8()?;
+                r.finish()?;
+                Ok(OracleReport::Olh(OlhReport { seed, bucket }))
+            }
+            Some(tag::REPORT_CMS) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_CMS)?;
+                let row = r.get_u8()?;
+                let ones = r.get_u16_vec()?;
+                r.finish()?;
+                Ok(OracleReport::Cms(CmsReport { row, ones }))
+            }
+            Some(tag::REPORT_HCMS) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_HCMS)?;
+                let row = r.get_u8()?;
+                let coefficient = r.get_u16()?;
+                let sign_positive = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Invalid("report sign flag")),
+                };
+                r.finish()?;
+                Ok(OracleReport::Hcms(HcmsReport {
+                    row,
+                    coefficient,
+                    sign_positive,
+                }))
+            }
+            _ => Err(WireError::Invalid("unknown oracle report tag")),
+        }
+    }
+}
+
+/// Type-erased [`Accumulator`] over the three oracle aggregators.
+#[derive(Clone, Debug)]
+pub enum OracleAccumulator {
+    /// See [`OlhAggregator`].
+    Olh(OlhAggregator),
+    /// See [`CmsAggregator`].
+    Cms(CmsAggregator),
+    /// See [`HadamardCmsAggregator`].
+    Hcms(HadamardCmsAggregator),
+}
+
+impl OracleAccumulator {
+    /// Which oracle this accumulator serves.
+    #[must_use]
+    pub fn kind(&self) -> OracleKind {
+        match self {
+            OracleAccumulator::Olh(_) => OracleKind::Olh,
+            OracleAccumulator::Cms(_) => OracleKind::Cms,
+            OracleAccumulator::Hcms(_) => OracleKind::Hcms,
+        }
+    }
+}
+
+#[track_caller]
+fn kind_mismatch(own: OracleKind, got: OracleKind) -> ! {
+    panic!(
+        "{} accumulator cannot absorb a {} report",
+        own.name(),
+        got.name()
+    );
+}
+
+impl Accumulator for OracleAccumulator {
+    type Report = OracleReport;
+    type Output = OracleEstimate;
+
+    fn absorb(&mut self, report: &OracleReport) {
+        match (&mut *self, report) {
+            (OracleAccumulator::Olh(a), OracleReport::Olh(r)) => Accumulator::absorb(a, r),
+            (OracleAccumulator::Cms(a), OracleReport::Cms(r)) => Accumulator::absorb(a, r),
+            (OracleAccumulator::Hcms(a), OracleReport::Hcms(r)) => Accumulator::absorb(a, r),
+            (acc, r) => kind_mismatch(acc.kind(), r.kind()),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        match (&mut *self, other) {
+            (OracleAccumulator::Olh(a), OracleAccumulator::Olh(b)) => Accumulator::merge(a, b),
+            (OracleAccumulator::Cms(a), OracleAccumulator::Cms(b)) => Accumulator::merge(a, b),
+            (OracleAccumulator::Hcms(a), OracleAccumulator::Hcms(b)) => Accumulator::merge(a, b),
+            (acc, b) => panic!(
+                "{} accumulator cannot merge a {} accumulator",
+                acc.kind().name(),
+                b.kind().name()
+            ),
+        }
+    }
+
+    fn report_count(&self) -> u64 {
+        match self {
+            OracleAccumulator::Olh(a) => a.report_count(),
+            OracleAccumulator::Cms(a) => a.report_count(),
+            OracleAccumulator::Hcms(a) => a.report_count(),
+        }
+    }
+
+    fn finalize(self) -> OracleEstimate {
+        match self {
+            OracleAccumulator::Olh(a) => OracleEstimate::Olh(a.finalize()),
+            OracleAccumulator::Cms(a) => OracleEstimate::Cms(a.finalize()),
+            OracleAccumulator::Hcms(a) => OracleEstimate::Hcms(a.finalize()),
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            OracleAccumulator::Olh(a) => a.to_bytes(),
+            OracleAccumulator::Cms(a) => a.to_bytes(),
+            OracleAccumulator::Hcms(a) => a.to_bytes(),
+        }
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        match Reader::peek_tag(bytes) {
+            Some(tag::OLH) => Accumulator::from_bytes(bytes).map(OracleAccumulator::Olh),
+            Some(tag::CMS) => Accumulator::from_bytes(bytes).map(OracleAccumulator::Cms),
+            Some(tag::HCMS) => Accumulator::from_bytes(bytes).map(OracleAccumulator::Hcms),
+            _ => Err(WireError::Invalid("unknown oracle accumulator tag")),
+        }
+    }
+}
+
+/// Finalized oracle, for any [`OracleKind`] — answers frequency queries
+/// through the common [`FrequencyOracle`] trait.
+#[derive(Clone, Debug)]
+pub enum OracleEstimate {
+    /// See [`OlhOracle`]. Queries cost `O(N)` each.
+    Olh(OlhOracle),
+    /// See [`CmsOracle`].
+    Cms(CmsOracle),
+    /// See [`HadamardCmsOracle`].
+    Hcms(HadamardCmsOracle),
+}
+
+impl FrequencyOracle for OracleEstimate {
+    fn d(&self) -> u32 {
+        match self {
+            OracleEstimate::Olh(o) => o.d(),
+            OracleEstimate::Cms(o) => o.d(),
+            OracleEstimate::Hcms(o) => o.d(),
+        }
+    }
+
+    fn estimate(&self, value: u64) -> f64 {
+        match self {
+            OracleEstimate::Olh(o) => o.estimate(value),
+            OracleEstimate::Cms(o) => o.estimate(value),
+            OracleEstimate::Hcms(o) => o.estimate(value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn build(kind: OracleKind) -> Oracle {
+        kind.build(6, 1.1, 3, 64, 9)
+    }
+
+    #[test]
+    fn reports_round_trip_and_feed_identical_state() {
+        for kind in OracleKind::ALL {
+            let oracle = build(kind);
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut direct = oracle.accumulator();
+            let mut rehydrated = oracle.accumulator();
+            for u in 0..300u64 {
+                let report = oracle.encode(u % 64, &mut rng);
+                let back = OracleReport::from_bytes(&report.to_bytes())
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+                assert_eq!(back, report, "{} report round trip", kind.name());
+                direct.absorb(&report);
+                rehydrated.absorb(&back);
+            }
+            assert_eq!(direct.report_count(), 300, "{}", kind.name());
+            assert_eq!(
+                direct.to_bytes(),
+                rehydrated.to_bytes(),
+                "{} state diverged after a report wire round trip",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_state_round_trips_and_headers_rehydrate() {
+        for kind in OracleKind::ALL {
+            let oracle = build(kind);
+            let header = oracle_header(kind, 6, 1.1, 3, 64, 9);
+            let rebuilt = build_oracle(&header).unwrap();
+            assert_eq!(rebuilt.kind(), kind);
+
+            // The rebuilt client must produce the exact same reports —
+            // the hash family and probabilities are fully determined by
+            // the header.
+            let mut rng_a = StdRng::seed_from_u64(5);
+            let mut rng_b = StdRng::seed_from_u64(5);
+            let mut acc = oracle.accumulator();
+            for u in 0..200u64 {
+                let a = oracle.encode(u % 64, &mut rng_a);
+                let b = rebuilt.encode(u % 64, &mut rng_b);
+                assert_eq!(a, b, "{} rebuilt client diverged", kind.name());
+                acc.absorb(&a);
+            }
+            let bytes = acc.to_bytes();
+            let back = OracleAccumulator::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_bytes(), bytes, "{} round trip", kind.name());
+        }
+    }
+
+    #[test]
+    fn merged_shards_match_serial_bytes() {
+        for kind in OracleKind::ALL {
+            let oracle = build(kind);
+            let mut rng = StdRng::seed_from_u64(8);
+            let reports: Vec<OracleReport> = (0..400u64)
+                .map(|u| oracle.encode(u % 64, &mut rng))
+                .collect();
+
+            let mut serial = oracle.accumulator();
+            for r in &reports {
+                serial.absorb(r);
+            }
+            let mut parts: Vec<OracleAccumulator> = (0..4)
+                .map(|s| {
+                    let mut acc = oracle.accumulator();
+                    for r in reports.iter().skip(s).step_by(4) {
+                        acc.absorb(r);
+                    }
+                    acc
+                })
+                .collect();
+            let mut merged = parts.remove(0);
+            for part in parts {
+                merged.merge(part);
+            }
+            assert_eq!(
+                merged.to_bytes(),
+                serial.to_bytes(),
+                "{} merge is not partition-invariant",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OLH accumulator cannot absorb a HCMS report")]
+    fn mismatched_report_kind_panics() {
+        let olh = build(OracleKind::Olh);
+        let hcms = build(OracleKind::Hcms);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut acc = olh.accumulator();
+        acc.absorb(&hcms.encode(1, &mut rng));
+    }
+
+    #[test]
+    fn rejects_garbage_bytes() {
+        assert!(OracleAccumulator::from_bytes(&[]).is_err());
+        assert!(OracleReport::from_bytes(&[0x7F, 1]).is_err());
+        let full = OracleReport::Olh(OlhReport { seed: 5, bucket: 1 }).to_bytes();
+        assert_eq!(
+            OracleReport::from_bytes(&full[..full.len() - 1]),
+            Err(WireError::Truncated)
+        );
+    }
+}
