@@ -13,8 +13,30 @@
 //! more than `max_drop` below a committed baseline.
 
 use crate::DataSource;
+use ldp_core::frame::StreamHeader;
 use ldp_core::{user_rng, Accumulator, MechanismKind, MechanismReport};
 use std::time::Instant;
+
+/// How a grid point is measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointMode {
+    /// In-process: `absorb_batch` over a buffered report vector.
+    Batch,
+    /// End-to-end serving: concurrent TCP clients pushing framed report
+    /// streams into a live `ldp_server::Server` over loopback.
+    Serve,
+}
+
+impl PointMode {
+    /// The `BENCH.json` spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PointMode::Batch => "batch",
+            PointMode::Serve => "serve",
+        }
+    }
+}
 
 /// One measured grid point: a mechanism at a concrete (d, k, n, ε).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,6 +51,8 @@ pub struct ScenarioPoint {
     pub n: usize,
     /// Privacy budget ε.
     pub eps: f64,
+    /// Measurement mode (in-process batch vs live TCP serving).
+    pub mode: PointMode,
 }
 
 /// A named benchmark scenario: the grid plus its execution parameters.
@@ -62,24 +86,42 @@ impl Scenario {
                             k,
                             n,
                             eps: 1.1,
+                            mode: PointMode::Batch,
                         });
                     }
                 }
             }
             points
         };
+        let serve = |mechanism: MechanismKind, n: usize| ScenarioPoint {
+            mechanism,
+            d: 8,
+            k: 2,
+            n,
+            eps: 1.1,
+            mode: PointMode::Serve,
+        };
         match name {
             // Seconds, not minutes: the CI bench-smoke job runs this on
             // every push.
             "smoke" => Some(Scenario {
                 name: "smoke",
-                points: grid(&[2], &[20_000]),
+                points: {
+                    let mut points = grid(&[2], &[20_000]);
+                    points.push(serve(MechanismKind::MargPs, 20_000));
+                    points
+                },
                 merge_shards: 8,
                 reps: 3,
             }),
             "full" => Some(Scenario {
                 name: "full",
-                points: grid(&[2, 3], &[100_000, 400_000]),
+                points: {
+                    let mut points = grid(&[2, 3], &[100_000, 400_000]);
+                    points.push(serve(MechanismKind::MargPs, 100_000));
+                    points.push(serve(MechanismKind::InpHt, 100_000));
+                    points
+                },
                 merge_shards: 8,
                 reps: 3,
             }),
@@ -137,6 +179,9 @@ pub fn run_point(
     seed: u64,
 ) -> PointResult {
     assert!(reps >= 1 && merge_shards >= 2);
+    if point.mode == PointMode::Serve {
+        return run_serve_point(point, reps, seed);
+    }
     let mech = point.mechanism.build(point.d, point.k, point.eps);
     let data = if point.d == 8 {
         DataSource::Taxi.generate(point.d, point.n, seed)
@@ -221,6 +266,107 @@ pub fn run_point(
     }
 }
 
+/// Concurrent TCP clients a [`PointMode::Serve`] measurement drives.
+pub const SERVE_CLIENTS: usize = 4;
+
+/// Worker (shard) count of the in-process server a serve point spins
+/// up.
+pub const SERVE_SHARDS: usize = 4;
+
+/// Measure one [`PointMode::Serve`] grid point: spin up a real
+/// `ldp_server::Server` on a loopback port, push pre-encoded report
+/// frames from [`SERVE_CLIENTS`] concurrent TCP connections (each
+/// waiting for the server's absorbed acknowledgement), and read rates
+/// off the wall clock. `reports_per_sec` is therefore the full serving
+/// path — framing, TCP, connection handling, worker dispatch, absorb —
+/// and `merges_per_sec` counts live snapshot requests per second (each
+/// one collects and merges every worker's state and ships it back).
+fn run_serve_point(point: &ScenarioPoint, reps: usize, seed: u64) -> PointResult {
+    use ldp_server::{Control, Request, Response, Server};
+
+    let mech = point.mechanism.build(point.d, point.k, point.eps);
+    let data = if point.d == 8 {
+        DataSource::Taxi.generate(point.d, point.n, seed)
+    } else {
+        DataSource::Skewed.generate(point.d, point.n, seed)
+    };
+
+    // Client encode pass (timed once, like the batch mode), buffering
+    // the framed wire form each client will push.
+    let t0 = Instant::now();
+    let frames: Vec<Vec<u8>> = data
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(user, &row)| {
+            let mut rng = user_rng(seed, user as u64);
+            mech.encode(row, &mut rng).to_bytes()
+        })
+        .collect();
+    let encode_elapsed = t0.elapsed().as_secs_f64();
+    let wire_bytes: usize = frames.iter().map(Vec::len).sum();
+
+    let header = StreamHeader::mechanism(point.mechanism, point.d, point.k, point.eps);
+    let server = Server::bind("127.0.0.1:0", SERVE_SHARDS).expect("bind the bench server");
+    let addr = server
+        .local_addr()
+        .expect("bench server address")
+        .to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Contiguous per-client slices of the report stream.
+    let chunk = point.n.div_ceil(SERVE_CLIENTS).max(1);
+    let slices: Vec<&[Vec<u8>]> = frames.chunks(chunk).collect();
+
+    let mut best_ingest = 0.0f64;
+    for _ in 0..reps {
+        let (elapsed, iters) = time_at_least(|| {
+            std::thread::scope(|scope| {
+                for slice in &slices {
+                    let addr = addr.as_str();
+                    scope.spawn(move || {
+                        ldp_server::push_reports(addr, &header, slice)
+                            .expect("push reports to the bench server");
+                    });
+                }
+            });
+        });
+        best_ingest = best_ingest.max(point.n as f64 * iters as f64 / elapsed);
+    }
+
+    // Live snapshots: collect + merge every worker's state on demand.
+    let mut control = Control::connect(&addr).expect("control connection");
+    let mut snapshot_bytes = 0usize;
+    let mut best_snapshot = 0.0f64;
+    for _ in 0..reps {
+        let (elapsed, iters) =
+            time_at_least(
+                || match control.request(&Request::Snapshot).expect("live snapshot") {
+                    Response::Snapshot { state, .. } => snapshot_bytes = state.len(),
+                    other => panic!("unexpected snapshot response: {other:?}"),
+                },
+            );
+        best_snapshot = best_snapshot.max(iters as f64 / elapsed);
+    }
+
+    control
+        .request(&Request::Shutdown)
+        .expect("graceful shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+
+    PointResult {
+        point: *point,
+        encodes_per_sec: point.n as f64 / encode_elapsed.max(1e-9),
+        reports_per_sec: best_ingest,
+        merges_per_sec: best_snapshot,
+        snapshot_bytes,
+        bytes_per_report: wire_bytes as f64 / point.n as f64,
+    }
+}
+
 /// Run every point of a scenario, invoking `progress` after each one
 /// (for CLI logging; pass `|_| ()` to stay quiet).
 #[must_use]
@@ -251,10 +397,12 @@ pub fn to_json(scenario_name: &str, results: &[PointResult]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"mechanism\": \"{}\", \"d\": {}, \"k\": {}, \"n\": {}, \"eps\": {}, \
+            "    {{\"mechanism\": \"{}\", \"mode\": \"{}\", \"d\": {}, \"k\": {}, \"n\": {}, \
+             \"eps\": {}, \
              \"encodes_per_sec\": {:.1}, \"reports_per_sec\": {:.1}, \"merges_per_sec\": {:.1}, \
              \"snapshot_bytes\": {}, \"bytes_per_report\": {:.2}}}{}\n",
             r.point.mechanism.name(),
+            r.point.mode.name(),
             r.point.d,
             r.point.k,
             r.point.n,
@@ -295,6 +443,16 @@ pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String
             .into_iter()
             .find(|k| k.name() == name)
             .ok_or_else(|| format!("unknown mechanism {name:?}"))?;
+        // `mode` is a schema-v1 addition: absent means "batch", so
+        // documents written before serve points existed still parse.
+        let mode = match e.iter().find(|(k, _)| k == "mode").map(|(_, v)| v) {
+            None => PointMode::Batch,
+            Some(v) => match v.as_str() {
+                Some("batch") => PointMode::Batch,
+                Some("serve") => PointMode::Serve,
+                other => return Err(format!("unknown mode {other:?}")),
+            },
+        };
         let num = |key: &str| -> Result<f64, String> {
             json::get(e, key)?
                 .as_f64()
@@ -307,6 +465,7 @@ pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String
                 k: num("k")? as u32,
                 n: num("n")? as usize,
                 eps: num("eps")?,
+                mode,
             },
             encodes_per_sec: num("encodes_per_sec")?,
             reports_per_sec: num("reports_per_sec")?,
@@ -318,37 +477,52 @@ pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String
     Ok((scenario, out))
 }
 
+/// The per-point drop allowance: `serve` points gate at 1.5× the batch
+/// threshold (capped below 1), because end-to-end loopback TCP rates
+/// carry scheduler noise an in-process `absorb_batch` loop does not.
+#[must_use]
+pub fn allowed_drop(mode: PointMode, max_drop: f64) -> f64 {
+    match mode {
+        PointMode::Batch => max_drop,
+        PointMode::Serve => (max_drop * 1.5).min(0.95),
+    }
+}
+
 /// The CI regression gate: one message per grid point whose ingest
-/// throughput dropped more than `max_drop` (a fraction, e.g. `0.30`)
-/// below the baseline. Points missing from either side are reported too
-/// — a silently narrowed grid must not pass as "no regressions".
+/// throughput dropped more than its allowance (`max_drop` for batch
+/// points, [`allowed_drop`] for serve points) below the baseline.
+/// Points missing from either side are reported too — a silently
+/// narrowed grid must not pass as "no regressions".
 #[must_use]
 pub fn regressions(
     current: &[PointResult],
     baseline: &[PointResult],
     max_drop: f64,
 ) -> Vec<String> {
-    let key = |p: &ScenarioPoint| (p.mechanism.name(), p.d, p.k, p.n, p.eps.to_bits());
+    let key = |p: &ScenarioPoint| (p.mechanism.name(), p.mode, p.d, p.k, p.n, p.eps.to_bits());
+    let label = |p: &ScenarioPoint| {
+        format!(
+            "{} [{}] d={} k={} n={}",
+            p.mechanism.name(),
+            p.mode.name(),
+            p.d,
+            p.k,
+            p.n
+        )
+    };
     let mut problems = Vec::new();
     for base in baseline {
         match current.iter().find(|c| key(&c.point) == key(&base.point)) {
             None => problems.push(format!(
-                "{} d={} k={} n={}: missing from current results",
-                base.point.mechanism.name(),
-                base.point.d,
-                base.point.k,
-                base.point.n
+                "{}: missing from current results",
+                label(&base.point)
             )),
             Some(cur) => {
-                let floor = base.reports_per_sec * (1.0 - max_drop);
+                let floor = base.reports_per_sec * (1.0 - allowed_drop(base.point.mode, max_drop));
                 if cur.reports_per_sec < floor {
                     problems.push(format!(
-                        "{} d={} k={} n={}: {:.0} reports/sec is {:.0}% below baseline {:.0} \
-                         (floor {:.0})",
-                        cur.point.mechanism.name(),
-                        cur.point.d,
-                        cur.point.k,
-                        cur.point.n,
+                        "{}: {:.0} reports/sec is {:.0}% below baseline {:.0} (floor {:.0})",
+                        label(&cur.point),
                         cur.reports_per_sec,
                         (1.0 - cur.reports_per_sec / base.reports_per_sec) * 100.0,
                         base.reports_per_sec,
@@ -361,11 +535,8 @@ pub fn regressions(
     for cur in current {
         if !baseline.iter().any(|b| key(&b.point) == key(&cur.point)) {
             problems.push(format!(
-                "{} d={} k={} n={}: not in the baseline — refresh it so this point is gated",
-                cur.point.mechanism.name(),
-                cur.point.d,
-                cur.point.k,
-                cur.point.n
+                "{}: not in the baseline — refresh it so this point is gated",
+                label(&cur.point)
             ));
         }
     }
@@ -578,6 +749,7 @@ mod tests {
             k: 2,
             n: 2_000,
             eps: 1.1,
+            mode: PointMode::Batch,
         }
     }
 
@@ -589,11 +761,19 @@ mod tests {
             assert!(!s.points.is_empty());
         }
         assert!(Scenario::by_name("nope").is_none());
-        // The smoke grid covers every mechanism.
+        // The smoke grid covers every mechanism, plus one serve point.
         let smoke = Scenario::by_name("smoke").unwrap();
         for kind in MechanismKind::ALL {
             assert!(smoke.points.iter().any(|p| p.mechanism == kind));
         }
+        assert_eq!(
+            smoke
+                .points
+                .iter()
+                .filter(|p| p.mode == PointMode::Serve)
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -622,6 +802,61 @@ mod tests {
             // Rates go through a one-decimal text form.
             assert!((b.reports_per_sec - r.reports_per_sec).abs() <= 0.06);
         }
+    }
+
+    #[test]
+    fn serve_points_run_and_round_trip() {
+        let point = ScenarioPoint {
+            mode: PointMode::Serve,
+            n: 1_000,
+            ..tiny_point(MechanismKind::MargPs)
+        };
+        let r = run_point(&point, 4, 1, 7);
+        assert!(r.reports_per_sec > 0.0 && r.reports_per_sec.is_finite());
+        assert!(r.merges_per_sec > 0.0 && r.merges_per_sec.is_finite());
+        assert!(r.snapshot_bytes > 0);
+        let text = to_json("smoke", std::slice::from_ref(&r));
+        assert!(text.contains("\"mode\": \"serve\""), "{text}");
+        let (_, back) = parse_bench_json(&text).unwrap();
+        assert_eq!(back[0].point.mode, PointMode::Serve);
+        assert_eq!(back[0].snapshot_bytes, r.snapshot_bytes);
+    }
+
+    #[test]
+    fn mode_defaults_to_batch_for_pre_serve_documents() {
+        let legacy = r#"{"scenario": "x", "results": [{"mechanism": "InpHT", "d": 4,
+            "k": 2, "n": 10, "eps": 1.0, "encodes_per_sec": 1, "reports_per_sec": 1,
+            "merges_per_sec": 1, "snapshot_bytes": 1, "bytes_per_report": 1}]}"#;
+        let (_, results) = parse_bench_json(legacy).unwrap();
+        assert_eq!(results[0].point.mode, PointMode::Batch);
+    }
+
+    #[test]
+    fn serve_points_get_a_wider_regression_allowance() {
+        assert_eq!(allowed_drop(PointMode::Batch, 0.30), 0.30);
+        assert!((allowed_drop(PointMode::Serve, 0.30) - 0.45).abs() < 1e-12);
+        let base = run_point(&tiny_point(MechanismKind::MargHt), 4, 1, 7);
+        let mut serve_base = base.clone();
+        serve_base.point.mode = PointMode::Serve;
+        let mut serve_cur = serve_base.clone();
+        // A 40% drop trips the 30% batch gate but not the 45% serve one.
+        serve_cur.reports_per_sec = serve_base.reports_per_sec * 0.6;
+        assert!(regressions(
+            std::slice::from_ref(&serve_cur),
+            std::slice::from_ref(&serve_base),
+            0.30
+        )
+        .is_empty());
+        // Batch and serve points never match each other.
+        assert_eq!(
+            regressions(
+                std::slice::from_ref(&base),
+                std::slice::from_ref(&serve_base),
+                0.30
+            )
+            .len(),
+            2
+        );
     }
 
     #[test]

@@ -1,20 +1,22 @@
-//! The five `ldp-cli` subcommands.
+//! The batch-pipeline `ldp-cli` subcommands (the serving ones live in
+//! `crate::serve`).
 
 use crate::flags::Flags;
-use crate::spec::{
-    header_for, Client, PipelineAccumulator, PipelineEstimate, Protocol, SketchShape,
-};
 use ldp_bench::scenario::{parse_bench_json, regressions, run_scenario, to_json, Scenario};
 use ldp_bench::DataSource;
 use ldp_bits::{masks_of_weight, Mask};
 use ldp_core::frame::{read_snapshot, write_snapshot, FrameReader, FrameWriter, StreamHeader};
 use ldp_core::{clamp_normalize, user_rng, MarginalEstimator};
+use ldp_oracles::pipeline::{
+    header_for, Client, PipelineAccumulator, PipelineEstimate, Protocol, SketchShape,
+};
 use ldp_oracles::FrequencyOracle;
+use ldp_server::{Control, QueryRequest, QueryTarget, Request, Response};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Open `path` for reading (`-` is stdin).
-fn open_input(path: &str) -> Result<Box<dyn BufRead>, String> {
+pub fn open_input(path: &str) -> Result<Box<dyn BufRead>, String> {
     if path == "-" {
         Ok(Box::new(BufReader::new(std::io::stdin())))
     } else {
@@ -25,7 +27,7 @@ fn open_input(path: &str) -> Result<Box<dyn BufRead>, String> {
 }
 
 /// Open `path` for writing (`-` is stdout).
-fn open_output(path: &str) -> Result<Box<dyn Write>, String> {
+pub fn open_output(path: &str) -> Result<Box<dyn Write>, String> {
     if path == "-" {
         Ok(Box::new(BufWriter::new(std::io::stdout())))
     } else {
@@ -211,132 +213,227 @@ fn mask_label(mask: Mask) -> String {
         .join("+")
 }
 
-/// `query`: finalize a snapshot into estimates.
+/// Where `query` evaluates estimates: a finalized local snapshot, or a
+/// live server reached over a control connection (`--connect`). Both
+/// paths print identical output for the same absorbed reports — the
+/// server computes with the exact code the local path uses.
+enum QuerySource {
+    /// A finalized snapshot read from a file or stdin.
+    Local(PipelineEstimate),
+    /// A control session against a running `ldp-cli serve`.
+    Remote(Control),
+}
+
+impl QuerySource {
+    /// One marginal table (mechanism pipelines).
+    fn marginal(&mut self, mask: Mask, normalize: bool) -> Result<Vec<f64>, String> {
+        match self {
+            QuerySource::Local(PipelineEstimate::Mechanism(est)) => {
+                let raw = est.marginal(mask);
+                Ok(if normalize {
+                    clamp_normalize(&raw)
+                } else {
+                    raw
+                })
+            }
+            QuerySource::Local(PipelineEstimate::Oracle(_)) => {
+                Err("oracle snapshots answer value queries, not marginals".to_string())
+            }
+            QuerySource::Remote(control) => {
+                match control.request(&Request::Query(QueryRequest {
+                    target: QueryTarget::Marginal(mask.0),
+                    normalize,
+                }))? {
+                    Response::Query(table) => Ok(table),
+                    other => Err(format!("unexpected query response: {other:?}")),
+                }
+            }
+        }
+    }
+
+    /// One frequency estimate (oracle pipelines).
+    fn value(&mut self, value: u64) -> Result<f64, String> {
+        match self {
+            QuerySource::Local(PipelineEstimate::Oracle(oracle)) => Ok(oracle.estimate(value)),
+            QuerySource::Local(PipelineEstimate::Mechanism(_)) => {
+                Err("mechanism snapshots answer marginal queries, not values".to_string())
+            }
+            QuerySource::Remote(control) => {
+                match control.request(&Request::Query(QueryRequest {
+                    target: QueryTarget::Value(value),
+                    normalize: false,
+                }))? {
+                    Response::Query(table) => table
+                        .first()
+                        .copied()
+                        .ok_or_else(|| "empty query response".to_string()),
+                    other => Err(format!("unexpected query response: {other:?}")),
+                }
+            }
+        }
+    }
+
+    /// The highest marginal order answerable (locally known from the
+    /// estimate; remotely the header's k — the server re-validates).
+    fn max_k(&self, header: &StreamHeader) -> u32 {
+        match self {
+            QuerySource::Local(PipelineEstimate::Mechanism(est)) => est.max_k(),
+            _ => header.k,
+        }
+    }
+}
+
+/// `query`: finalize a snapshot — or interrogate a live server — into
+/// estimates.
 pub fn query(flags: &Flags) -> Result<(), String> {
-    let input = flags.get("input").unwrap_or("-");
     let format = flags.get("format").unwrap_or("csv");
     if format != "csv" && format != "json" {
         return Err(format!("--format must be csv or json, got {format:?}"));
     }
     let normalize = flags.has("normalize");
-    let (header, state) = read_snapshot(open_input(input)?).map_err(|e| format!("{input}: {e}"))?;
-    let acc = PipelineAccumulator::from_state(&header, &state)?;
-    let reports = acc.report_count();
-    if reports == 0 {
-        return Err("snapshot holds no reports; nothing to estimate".to_string());
-    }
-    let protocol = if let Some(kind) = header.mechanism_kind() {
-        kind.name()
-    } else {
-        ldp_oracles::OracleKind::from_wire_tag(header.protocol)
-            .map(|k| k.name())
-            .unwrap_or("?")
-    };
-    let mut out = open_output(flags.get("output").unwrap_or("-"))?;
-
-    match acc.finalize() {
-        PipelineEstimate::Mechanism(est) => {
-            let k_query = header.k.min(est.max_k());
-            let masks: Vec<Mask> = match flags.get("marginal") {
-                Some(text) => {
-                    let mask = parse_marginal(text, header.d)?;
-                    if mask.weight() > est.max_k() {
-                        return Err(format!(
-                            "marginal order {} exceeds the collected k = {}",
-                            mask.weight(),
-                            est.max_k()
-                        ));
+    // A single named target goes to the server's query endpoint; an
+    // enumeration (all k-way marginals, or an oracle's full domain)
+    // fetches one snapshot and finalizes locally instead — identical
+    // output (proved by tests/serve.rs) for one round trip and one
+    // collect+merge, rather than one per mask or domain value.
+    let single_target = flags.get("marginal").is_some() || flags.get("value").is_some();
+    let (header, reports, mut source) = match flags.get("connect") {
+        Some(addr) => {
+            let mut control = Control::connect(addr)?;
+            if single_target {
+                let stats = match control.request(&Request::Stats)? {
+                    Response::Stats(stats) => stats,
+                    other => return Err(format!("unexpected stats response: {other:?}")),
+                };
+                let header = stats
+                    .header
+                    .ok_or("server has not ingested any report stream yet")?;
+                (header, stats.reports, QuerySource::Remote(control))
+            } else {
+                match control.request(&Request::Snapshot)? {
+                    Response::Snapshot { header, state } => {
+                        let acc = PipelineAccumulator::from_state(&header, &state)?;
+                        let reports = acc.report_count();
+                        (header, reports, QuerySource::Local(acc.finalize()))
                     }
-                    vec![mask]
-                }
-                None => masks_of_weight(header.d, k_query).collect(),
-            };
-            let table_for = |mask: Mask| -> Vec<f64> {
-                let raw = est.marginal(mask);
-                if normalize {
-                    clamp_normalize(&raw)
-                } else {
-                    raw
-                }
-            };
-            match format {
-                "csv" => {
-                    writeln!(out, "marginal,cell,estimate").map_err(|e| e.to_string())?;
-                    for &mask in &masks {
-                        let label = mask_label(mask);
-                        for (cell, v) in table_for(mask).iter().enumerate() {
-                            writeln!(out, "{label},{cell},{v}").map_err(|e| e.to_string())?;
-                        }
-                    }
-                }
-                _ => {
-                    writeln!(
-                        out,
-                        "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"k\": {}, \
-                         \"reports\": {reports}, \"normalized\": {normalize},",
-                        header.d, header.k
-                    )
-                    .map_err(|e| e.to_string())?;
-                    writeln!(out, "  \"marginals\": [").map_err(|e| e.to_string())?;
-                    for (i, &mask) in masks.iter().enumerate() {
-                        let attrs: Vec<String> = mask.attrs().map(|a| a.to_string()).collect();
-                        let table: Vec<String> =
-                            table_for(mask).iter().map(|v| v.to_string()).collect();
-                        writeln!(
-                            out,
-                            "    {{\"attrs\": [{}], \"table\": [{}]}}{}",
-                            attrs.join(", "),
-                            table.join(", "),
-                            if i + 1 == masks.len() { "" } else { "," }
-                        )
-                        .map_err(|e| e.to_string())?;
-                    }
-                    writeln!(out, "  ]\n}}").map_err(|e| e.to_string())?;
+                    other => return Err(format!("unexpected snapshot response: {other:?}")),
                 }
             }
         }
-        PipelineEstimate::Oracle(oracle) => {
-            let values: Vec<u64> = match flags.get("value") {
-                Some(text) => {
-                    let v: u64 = text.parse().map_err(|_| format!("bad --value {text:?}"))?;
-                    if header.d < 64 && v >> header.d != 0 {
-                        return Err(format!("value {v} is outside the d = {} domain", header.d));
-                    }
-                    vec![v]
+        None => {
+            let input = flags.get("input").unwrap_or("-");
+            let (header, state) =
+                read_snapshot(open_input(input)?).map_err(|e| format!("{input}: {e}"))?;
+            let acc = PipelineAccumulator::from_state(&header, &state)?;
+            let reports = acc.report_count();
+            (header, reports, QuerySource::Local(acc.finalize()))
+        }
+    };
+    if reports == 0 {
+        return Err("no reports collected; nothing to estimate".to_string());
+    }
+    let protocol = Protocol::from_header(&header)
+        .map(Protocol::name)
+        .unwrap_or("?");
+    let mut out = open_output(flags.get("output").unwrap_or("-"))?;
+
+    if header.mechanism_kind().is_some() {
+        let max_k = source.max_k(&header);
+        let k_query = header.k.min(max_k);
+        let masks: Vec<Mask> = match flags.get("marginal") {
+            Some(text) => {
+                let mask = parse_marginal(text, header.d)?;
+                if mask.weight() > max_k {
+                    return Err(format!(
+                        "marginal order {} exceeds the collected k = {max_k}",
+                        mask.weight()
+                    ));
                 }
-                None => {
-                    if header.d > 24 {
-                        return Err(format!(
-                            "full-domain query over 2^{} values is too large; pass --value",
-                            header.d
-                        ));
-                    }
-                    (0..(1u64 << header.d)).collect()
-                }
-            };
-            match format {
-                "csv" => {
-                    writeln!(out, "value,estimate").map_err(|e| e.to_string())?;
-                    for &v in &values {
-                        writeln!(out, "{v},{}", oracle.estimate(v)).map_err(|e| e.to_string())?;
+                vec![mask]
+            }
+            None => masks_of_weight(header.d, k_query).collect(),
+        };
+        match format {
+            "csv" => {
+                writeln!(out, "marginal,cell,estimate").map_err(|e| e.to_string())?;
+                for &mask in &masks {
+                    let label = mask_label(mask);
+                    for (cell, v) in source.marginal(mask, normalize)?.iter().enumerate() {
+                        writeln!(out, "{label},{cell},{v}").map_err(|e| e.to_string())?;
                     }
                 }
-                _ => {
+            }
+            _ => {
+                writeln!(
+                    out,
+                    "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"k\": {}, \
+                     \"reports\": {reports}, \"normalized\": {normalize},",
+                    header.d, header.k
+                )
+                .map_err(|e| e.to_string())?;
+                writeln!(out, "  \"marginals\": [").map_err(|e| e.to_string())?;
+                for (i, &mask) in masks.iter().enumerate() {
+                    let attrs: Vec<String> = mask.attrs().map(|a| a.to_string()).collect();
+                    let table: Vec<String> = source
+                        .marginal(mask, normalize)?
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect();
                     writeln!(
                         out,
-                        "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"reports\": {reports},",
-                        header.d
+                        "    {{\"attrs\": [{}], \"table\": [{}]}}{}",
+                        attrs.join(", "),
+                        table.join(", "),
+                        if i + 1 == masks.len() { "" } else { "," }
                     )
                     .map_err(|e| e.to_string())?;
-                    let cells: Vec<String> = values
-                        .iter()
-                        .map(|&v| {
-                            format!("{{\"value\": {v}, \"estimate\": {}}}", oracle.estimate(v))
-                        })
-                        .collect();
-                    writeln!(out, "  \"frequencies\": [{}]\n}}", cells.join(", "))
-                        .map_err(|e| e.to_string())?;
                 }
+                writeln!(out, "  ]\n}}").map_err(|e| e.to_string())?;
+            }
+        }
+    } else {
+        let values: Vec<u64> = match flags.get("value") {
+            Some(text) => {
+                let v: u64 = text.parse().map_err(|_| format!("bad --value {text:?}"))?;
+                if header.d < 64 && v >> header.d != 0 {
+                    return Err(format!("value {v} is outside the d = {} domain", header.d));
+                }
+                vec![v]
+            }
+            None => {
+                if header.d > 24 {
+                    return Err(format!(
+                        "full-domain query over 2^{} values is too large; pass --value",
+                        header.d
+                    ));
+                }
+                (0..(1u64 << header.d)).collect()
+            }
+        };
+        match format {
+            "csv" => {
+                writeln!(out, "value,estimate").map_err(|e| e.to_string())?;
+                for &v in &values {
+                    writeln!(out, "{v},{}", source.value(v)?).map_err(|e| e.to_string())?;
+                }
+            }
+            _ => {
+                writeln!(
+                    out,
+                    "{{\n  \"protocol\": \"{protocol}\", \"d\": {}, \"reports\": {reports},",
+                    header.d
+                )
+                .map_err(|e| e.to_string())?;
+                let cells: Vec<String> = values
+                    .iter()
+                    .map(|&v| {
+                        source
+                            .value(v)
+                            .map(|est| format!("{{\"value\": {v}, \"estimate\": {est}}}"))
+                    })
+                    .collect::<Result<_, String>>()?;
+                writeln!(out, "  \"frequencies\": [{}]\n}}", cells.join(", "))
+                    .map_err(|e| e.to_string())?;
             }
         }
     }

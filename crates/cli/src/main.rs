@@ -2,8 +2,9 @@
 //! process surface.
 //!
 //! Every stage of the paper's collect-and-estimate pipeline is a
-//! subcommand speaking the framed wire format of `ldp_core::frame`, so
-//! the stages compose across real process boundaries:
+//! subcommand speaking the framed wire format of `ldp_core::frame`
+//! (byte-level spec: `docs/WIRE_FORMAT.md`), so the stages compose
+//! across real process boundaries:
 //!
 //! ```text
 //! ldp-cli rows --d 8 --n 100000 \
@@ -16,10 +17,16 @@
 //! `merge`d into one snapshot that is byte-identical to a single-process
 //! run — the `Accumulator` partition-invariance law, now crossing
 //! process boundaries (proved end-to-end by `tests/cli_pipeline.rs`).
+//!
+//! The same law carries the serving mode: `serve` runs a long-lived
+//! multi-threaded TCP collector for live report streams, `load` drives
+//! it with concurrent clients, and `snapshot` / `stats` / `query
+//! --connect` / `shutdown` speak its framed control plane (proved by
+//! `tests/serve.rs`; operations guide: `docs/OPERATIONS.md`).
 
 mod commands;
 mod flags;
-mod spec;
+mod serve;
 
 use flags::Flags;
 
@@ -28,7 +35,7 @@ ldp-cli — marginal release under local differential privacy, as a pipeline
 
 USAGE: ldp-cli <subcommand> [flags]
 
-SUBCOMMANDS
+BATCH SUBCOMMANDS
   rows    Generate a CSV population.
           --d D (8) --n N (10000) --seed S (42) --generate taxi|movielens|skewed (taxi)
           --bits (emit 0/1 columns instead of row indices) --output PATH (-)
@@ -42,8 +49,8 @@ SUBCOMMANDS
           --input PATH (-) --output PATH (-)
   merge   Combine N snapshots of the same pipeline into one.
           --output PATH (-)  snapshot paths as positional arguments
-  query   Finalize a snapshot into estimates.
-          --input PATH (-) --format csv|json (csv) --normalize
+  query   Finalize a snapshot (or a live server) into estimates.
+          --input PATH (-) | --connect ADDR   --format csv|json (csv) --normalize
           --marginal 0,3 (mechanisms: one marginal instead of all k-way)
           --value V (oracles: one frequency instead of the full domain)
           --output PATH (-)
@@ -51,12 +58,49 @@ SUBCOMMANDS
           --scenario NAME (see --list) --seed S (42) --output PATH (BENCH.json)
           --baseline PATH --max-regress F (0.30)  [CI regression gate]
           --list (print known scenarios)
+
+SERVING SUBCOMMANDS
+  serve   Run the concurrent aggregation server until `shutdown`.
+          --listen ADDR (127.0.0.1:7878; port 0 picks a free port — the
+          bound address is the first stderr line) --shards W (cores)
+          --output PATH (write the final snapshot on shutdown)
+  load    Drive a server with concurrent clients (traffic generator).
+          --connect ADDR (required) --protocol NAME (required)
+          --clients C (4) --reports M (2500; per client)
+          --d/--k/--eps/--seed/--generate/--hashes/--width/--family-seed as encode
+  snapshot  Fetch the live merged snapshot as a snapshot file.
+          --connect ADDR (required) --output PATH (-)
+  stats   Print a server's counters (pipeline, reports, connections).
+          --connect ADDR (required)
+  shutdown  Ask a server to stop gracefully.
+          --connect ADDR (required)
+
+  version Print the version and wire-format revision (also --version).
   help    Print this message.
 
+EXIT CODES
+  0  success
+  1  runtime failure (bad flags or input, I/O or connection error,
+     stream/header rejection, bench regression-gate failure)
+  2  usage error (no subcommand, or an unknown subcommand)
+
 The per-user randomness follows the user_rng(seed, user) schedule, so an
-encode split across processes (via --first-user) is bit-identical to one
-process encoding everything. See docs/BENCHMARKS.md for the BENCH.json
-schema and README.md for a full pipeline walkthrough.";
+encode split across processes (via --first-user) or across `load`
+clients is bit-identical to one process encoding everything. See
+docs/WIRE_FORMAT.md for the byte-level protocol, docs/OPERATIONS.md for
+running the server, docs/BENCHMARKS.md for the BENCH.json schema, and
+README.md for a full pipeline walkthrough.";
+
+/// Exit status for usage errors (no or unknown subcommand).
+const EXIT_USAGE: i32 = 2;
+
+fn version() {
+    println!(
+        "ldp-cli {} (wire format v{})",
+        env!("CARGO_PKG_VERSION"),
+        ldp_core::wire::VERSION
+    );
+}
 
 fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
     match subcommand {
@@ -97,7 +141,7 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
         "query" => {
             let f = Flags::parse(
                 rest,
-                &["input", "output", "format", "marginal", "value"],
+                &["input", "connect", "output", "format", "marginal", "value"],
                 &["normalize"],
             )?;
             commands::query(&f)
@@ -110,13 +154,55 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
             )?;
             commands::bench(&f)
         }
+        "serve" => {
+            let f = Flags::parse(rest, &["listen", "shards", "output"], &[])?;
+            serve::serve(&f)
+        }
+        "load" => {
+            let f = Flags::parse(
+                rest,
+                &[
+                    "connect",
+                    "protocol",
+                    "clients",
+                    "reports",
+                    "d",
+                    "k",
+                    "eps",
+                    "seed",
+                    "generate",
+                    "hashes",
+                    "width",
+                    "family-seed",
+                ],
+                &[],
+            )?;
+            serve::load(&f)
+        }
+        "snapshot" => {
+            let f = Flags::parse(rest, &["connect", "output"], &[])?;
+            serve::snapshot(&f)
+        }
+        "stats" => {
+            let f = Flags::parse(rest, &["connect"], &[])?;
+            serve::stats(&f)
+        }
+        "shutdown" => {
+            let f = Flags::parse(rest, &["connect"], &[])?;
+            serve::shutdown(&f)
+        }
+        "version" | "--version" | "-V" => {
+            version();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!(
-            "unknown subcommand {other:?}; run `ldp-cli help` for usage"
-        )),
+        other => {
+            eprintln!("ldp-cli: unknown subcommand {other:?}; run `ldp-cli help` for usage");
+            std::process::exit(EXIT_USAGE);
+        }
     }
 }
 
@@ -124,7 +210,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((subcommand, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     };
     if let Err(message) = dispatch(subcommand, rest) {
         eprintln!("ldp-cli {subcommand}: {message}");

@@ -1,0 +1,191 @@
+//! The serving subcommands: `serve` (the aggregation daemon), `load`
+//! (a concurrent traffic generator), and the control-plane clients
+//! `snapshot`, `stats`, and `shutdown`.
+
+use crate::commands::open_output;
+use crate::flags::Flags;
+use ldp_bench::DataSource;
+use ldp_core::frame::write_snapshot;
+use ldp_core::user_rng;
+use ldp_oracles::pipeline::{header_for, Client, Protocol, SketchShape};
+use ldp_server::{push_reports, Control, Request, Response, Server};
+use std::time::Instant;
+
+/// `serve`: run the aggregation server until a graceful-shutdown
+/// request arrives.
+pub fn serve(flags: &Flags) -> Result<(), String> {
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:7878");
+    let default_shards =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shards: usize = flags.parsed("shards", default_shards)?;
+    let server = Server::bind(listen, shards)?;
+    // First stderr line, machine-parseable: `--listen 127.0.0.1:0` asks
+    // the OS for a free port, and this is where the caller learns it.
+    eprintln!("serving on {} ({} shards)", server.local_addr()?, shards);
+    let summary = server.run()?;
+    eprintln!(
+        "shutdown: absorbed {} reports over {} connections",
+        summary.reports, summary.connections
+    );
+    if let Some(path) = flags.get("output") {
+        match &summary.snapshot {
+            Some((header, state)) => {
+                write_snapshot(open_output(path)?, header, state).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "wrote the final snapshot to {path} ({} state bytes)",
+                    state.len()
+                );
+            }
+            None => eprintln!("no report stream arrived; {path} not written"),
+        }
+    }
+    Ok(())
+}
+
+/// `load`: drive a running server with N concurrent client connections
+/// each pushing M reports. Users are numbered `0..N*M` across the
+/// clients in contiguous slices and encoded with the `user_rng(seed,
+/// user)` schedule, so the union of all connections is byte-identical
+/// to `ldp-cli encode --generate <src> --n N*M --seed <seed>` — a
+/// live-server snapshot after `load` must equal a serial `ingest` of
+/// that stream.
+pub fn load(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("connect")?;
+    let protocol = Protocol::parse(flags.require("protocol")?)?;
+    let d: u32 = flags.parsed("d", 8)?;
+    let k: u32 = flags.parsed("k", 2)?;
+    let eps: f64 = flags.parsed("eps", 1.1)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let clients: usize = flags.parsed("clients", 4)?;
+    let per_client: usize = flags.parsed("reports", 2_500)?;
+    let sketch = SketchShape {
+        hashes: flags.parsed("hashes", 5)?,
+        width: flags.parsed("width", 256)?,
+        family_seed: flags.parsed("family-seed", 1)?,
+    };
+    if !(1..=63).contains(&d) {
+        return Err(format!("--d must be in 1..=63, got {d}"));
+    }
+    if k < 1 || k > d {
+        return Err(format!("--k must be in 1..={d}, got {k}"));
+    }
+    if clients == 0 || per_client == 0 {
+        return Err("--clients and --reports must be at least 1".to_string());
+    }
+    let source = match flags.get("generate").unwrap_or("taxi") {
+        "taxi" => DataSource::Taxi,
+        "movielens" => DataSource::MovieLens,
+        "skewed" => DataSource::Skewed,
+        other => {
+            return Err(format!(
+                "unknown --generate source {other:?}; expected taxi, movielens or skewed"
+            ))
+        }
+    };
+
+    let total = clients * per_client;
+    let data = source.generate(d, total, seed);
+    let header = header_for(protocol, d, k, eps, sketch);
+    let client = Client::from_header(&header)?;
+
+    // Encode every client's slice up front (concurrently), so the timed
+    // phase measures the serving path, not client-side encoding.
+    let rows = data.rows();
+    let frames: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let client = &client;
+                scope.spawn(move || {
+                    (c * per_client..(c + 1) * per_client)
+                        .map(|user| {
+                            let mut rng = user_rng(seed, user as u64);
+                            client.encode_report(rows[user], &mut rng)
+                        })
+                        .collect::<Vec<Vec<u8>>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("encoder thread"))
+            .collect()
+    });
+    let wire_bytes: usize = frames.iter().flatten().map(Vec::len).sum();
+
+    let t0 = Instant::now();
+    let acked: u64 = std::thread::scope(|scope| {
+        frames
+            .iter()
+            .map(|slice| scope.spawn(move || push_reports(addr, &header, slice)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum::<Result<u64, String>>()
+    })?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "pushed {total} {} reports ({wire_bytes} wire bytes) over {clients} connections \
+         in {elapsed:.3} s ({:.0} reports/s); server absorbed {acked}",
+        protocol.name(),
+        total as f64 / elapsed.max(1e-9),
+    );
+    Ok(())
+}
+
+/// `snapshot`: fetch the live merged snapshot from a running server and
+/// write it as a snapshot file — byte-identical to what `ldp-cli
+/// ingest` would have produced from the same reports.
+pub fn snapshot(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("connect")?;
+    let mut control = Control::connect(addr)?;
+    match control.request(&Request::Snapshot)? {
+        Response::Snapshot { header, state } => {
+            let path = flags.get("output").unwrap_or("-");
+            write_snapshot(open_output(path)?, &header, &state).map_err(|e| e.to_string())?;
+            eprintln!("live snapshot: {} state bytes", state.len());
+            Ok(())
+        }
+        other => Err(format!("unexpected snapshot response: {other:?}")),
+    }
+}
+
+/// `stats`: print a running server's counters.
+pub fn stats(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("connect")?;
+    let mut control = Control::connect(addr)?;
+    match control.request(&Request::Stats)? {
+        Response::Stats(s) => {
+            match &s.header {
+                Some(h) => {
+                    let name = Protocol::from_header(h).map(Protocol::name).unwrap_or("?");
+                    println!("pipeline: {name} d={} k={} eps={}", h.d, h.k, h.eps);
+                }
+                None => println!("pipeline: none (no report stream yet)"),
+            }
+            println!(
+                "reports: {} absorbed, {} frames rejected",
+                s.reports, s.rejected_frames
+            );
+            println!("workers: {}", s.workers);
+            println!(
+                "connections: {} accepted, {} active",
+                s.connections_accepted, s.connections_active
+            );
+            println!("uptime: {:.1} s", s.uptime_ms as f64 / 1e3);
+            Ok(())
+        }
+        other => Err(format!("unexpected stats response: {other:?}")),
+    }
+}
+
+/// `shutdown`: ask a running server to stop gracefully.
+pub fn shutdown(flags: &Flags) -> Result<(), String> {
+    let addr = flags.require("connect")?;
+    let mut control = Control::connect(addr)?;
+    match control.request(&Request::Shutdown)? {
+        Response::Shutdown(reports) => {
+            eprintln!("server shutting down after {reports} absorbed reports");
+            Ok(())
+        }
+        other => Err(format!("unexpected shutdown response: {other:?}")),
+    }
+}

@@ -49,6 +49,9 @@ pub enum FrameError {
     MissingFrame(&'static str),
     /// A snapshot carried frames after the accumulator state.
     TrailingFrame,
+    /// A [`FrameReader::next_frame_while`] read was abandoned because
+    /// its `keep_going` condition became false (server shutdown).
+    Interrupted,
 }
 
 impl std::fmt::Display for FrameError {
@@ -64,6 +67,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Wire(e) => write!(f, "bad frame payload: {e}"),
             FrameError::MissingFrame(what) => write!(f, "stream ended before the {what} frame"),
             FrameError::TrailingFrame => write!(f, "unexpected frame after the snapshot state"),
+            FrameError::Interrupted => write!(f, "frame read interrupted by shutdown"),
         }
     }
 }
@@ -145,6 +149,39 @@ fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     Ok(got)
 }
 
+/// Like [`read_up_to`], but sources that report a read timeout
+/// (`WouldBlock` from a non-blocking socket, `TimedOut` from one with a
+/// read timeout) consult `keep_going`: retry while it holds, abandon the
+/// read with [`FrameError::Interrupted`] once it does not. Partial
+/// progress is kept across retries, so a frame split over many timeout
+/// windows still assembles correctly.
+fn read_up_to_while<R: Read, F: Fn() -> bool>(
+    r: &mut R,
+    buf: &mut [u8],
+    keep_going: &F,
+) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_going() {
+                    return Err(FrameError::Interrupted);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(got)
+}
+
 impl<R: Read> FrameReader<R> {
     /// Wrap a source.
     pub fn new(inner: R) -> Self {
@@ -168,6 +205,42 @@ impl<R: Read> FrameReader<R> {
         }
         let mut payload = vec![0u8; len as usize];
         let got = read_up_to(&mut self.inner, &mut payload)?;
+        if got < payload.len() {
+            return Err(FrameError::Truncated {
+                needed: len as usize,
+                got,
+            });
+        }
+        Ok(Some(payload))
+    }
+
+    /// Read the next frame from a long-lived socket, staying
+    /// shutdown-safe: the source should carry a read timeout (or be
+    /// non-blocking), and every time it times out `keep_going` is
+    /// consulted — the read retries (keeping partial progress) while it
+    /// returns true and fails with [`FrameError::Interrupted`] once it
+    /// does not. This is the reader loop of the `ldp-cli serve`
+    /// connection handlers: a server draining live TCP streams can
+    /// neither block forever on an idle peer nor tear down sockets
+    /// mid-frame without noticing.
+    pub fn next_frame_while<F: Fn() -> bool>(
+        &mut self,
+        keep_going: F,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        let got = read_up_to_while(&mut self.inner, &mut len_bytes, &keep_going)?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < 4 {
+            return Err(FrameError::Truncated { needed: 4, got });
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(u64::from(len)));
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_up_to_while(&mut self.inner, &mut payload, &keep_going)?;
         if got < payload.len() {
             return Err(FrameError::Truncated {
                 needed: len as usize,
@@ -391,6 +464,69 @@ mod tests {
         assert!(matches!(
             r.next_frame(),
             Err(FrameError::Oversized(len)) if len == u64::from(u32::MAX)
+        ));
+    }
+
+    /// A source that yields its bytes one at a time, reporting a read
+    /// timeout between every byte — the worst-case fragmentation a TCP
+    /// reader with a read timeout can see.
+    struct Chopped {
+        bytes: Vec<u8>,
+        pos: usize,
+        timed_out: bool,
+    }
+
+    impl std::io::Read for Chopped {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.timed_out {
+                self.timed_out = true;
+                return Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "window"));
+            }
+            self.timed_out = false;
+            if self.pos == self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn next_frame_while_reassembles_across_timeouts() {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        w.write_frame(b"report-one").unwrap();
+        w.write_frame(b"report-two").unwrap();
+        let mut r = FrameReader::new(Chopped {
+            bytes: buf,
+            pos: 0,
+            timed_out: false,
+        });
+        assert_eq!(r.next_frame_while(|| true).unwrap().unwrap(), b"report-one");
+        assert_eq!(r.next_frame_while(|| true).unwrap().unwrap(), b"report-two");
+        assert!(r.next_frame_while(|| true).unwrap().is_none());
+    }
+
+    #[test]
+    fn next_frame_while_interrupts_on_shutdown() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"partial").unwrap();
+        let shutdown = AtomicBool::new(false);
+        let mut r = FrameReader::new(Chopped {
+            bytes: buf,
+            pos: 0,
+            timed_out: false,
+        });
+        // First frame completes (retrying through every timeout)…
+        let keep = || !shutdown.load(Ordering::SeqCst);
+        assert_eq!(r.next_frame_while(keep).unwrap().unwrap(), b"partial");
+        // …then shutdown flips mid-wait and the next read is abandoned.
+        shutdown.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            r.next_frame_while(keep),
+            Err(FrameError::Interrupted)
         ));
     }
 

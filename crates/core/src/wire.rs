@@ -62,6 +62,34 @@ pub mod tag {
     /// [`crate::frame::StreamHeader`] — frame 0 of report streams and
     /// snapshots.
     pub const STREAM_HEADER: u8 = 0x40;
+
+    // Aggregation-server control plane (`ldp_server`): request frames a
+    // client sends over a control connection (0x50–0x57) and the
+    // response frames the server answers with (0x58–0x5F). One request
+    // frame always yields exactly one response frame.
+
+    /// Request: the live merged snapshot (header + accumulator state).
+    pub const REQ_SNAPSHOT: u8 = 0x50;
+    /// Request: one finalized marginal table / frequency estimate.
+    pub const REQ_QUERY: u8 = 0x51;
+    /// Request: server counters (reports, connections, uptime, …).
+    pub const REQ_STATS: u8 = 0x52;
+    /// Request: graceful shutdown.
+    pub const REQ_SHUTDOWN: u8 = 0x53;
+
+    /// Response to [`REQ_SNAPSHOT`].
+    pub const RESP_SNAPSHOT: u8 = 0x58;
+    /// Response to [`REQ_QUERY`].
+    pub const RESP_QUERY: u8 = 0x59;
+    /// Response to [`REQ_STATS`].
+    pub const RESP_STATS: u8 = 0x5A;
+    /// Response to [`REQ_SHUTDOWN`].
+    pub const RESP_SHUTDOWN: u8 = 0x5B;
+    /// Ingest acknowledgement: sent once after a report stream reaches
+    /// a clean end-of-stream and every report has been absorbed.
+    pub const RESP_INGEST: u8 = 0x5C;
+    /// Error response to any request (or to a malformed first frame).
+    pub const RESP_ERROR: u8 = 0x5F;
 }
 
 /// The current (and only) wire-format version.
@@ -188,6 +216,21 @@ impl Writer {
         }
     }
 
+    /// Append a `u32`-length-prefixed raw byte string (UTF-8 messages,
+    /// nested wire blobs).
+    pub fn put_bytes(&mut self, vs: &[u8]) {
+        self.put_u32(vs.len() as u32);
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Append a length-prefixed `f64` slice (exact IEEE-754 bits).
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
     /// Finish and take the encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
@@ -300,6 +343,23 @@ impl<'a> Reader<'a> {
         (0..len).map(|_| self.get_u32()).collect()
     }
 
+    /// Read a `u32`-length-prefixed raw byte string, rejecting absurd
+    /// lengths before allocating.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a length-prefixed `f64` vector, rejecting absurd lengths
+    /// before allocating.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let len = self.get_u64()? as usize;
+        if self.bytes.len() - self.pos < len.saturating_mul(8) {
+            return Err(WireError::Truncated);
+        }
+        (0..len).map(|_| self.get_f64()).collect()
+    }
+
     /// Assert the whole blob was consumed.
     pub fn finish(self) -> Result<(), WireError> {
         let left = self.bytes.len() - self.pos;
@@ -402,6 +462,32 @@ mod tests {
         assert_eq!(r.get_u32_vec().unwrap(), vec![1, u32::MAX]);
         assert_eq!(r.get_u16_vec().unwrap(), Vec::<u16>::new());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_f64_slices_round_trip_and_guard_lengths() {
+        let mut w = Writer::with_tag(0x04);
+        w.put_bytes(b"control-plane message");
+        w.put_bytes(&[]);
+        w.put_f64_slice(&[0.25, -1.5, f64::MAX]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x04).unwrap();
+        assert_eq!(r.get_bytes().unwrap(), b"control-plane message");
+        assert_eq!(r.get_bytes().unwrap(), Vec::<u8>::new());
+        assert_eq!(r.get_f64_vec().unwrap(), vec![0.25, -1.5, f64::MAX]);
+        r.finish().unwrap();
+
+        // Oversized length prefixes fail before allocating.
+        let mut w = Writer::with_tag(0x04);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x04).unwrap();
+        assert_eq!(r.get_bytes(), Err(WireError::Truncated));
+        let mut w = Writer::with_tag(0x04);
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, 0x04).unwrap();
+        assert_eq!(r.get_f64_vec(), Err(WireError::Truncated));
     }
 
     #[test]

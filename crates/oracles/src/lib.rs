@@ -34,6 +34,7 @@ mod cms;
 mod hcms;
 mod olh;
 mod oracle;
+pub mod pipeline;
 mod streaming;
 
 pub use cms::{Cms, CmsAggregator, CmsOracle, CmsReport};

@@ -1,16 +1,21 @@
-//! Protocol plumbing shared by the subcommands: one client type and one
-//! accumulator type spanning the seven marginal mechanisms *and* the
-//! three frequency oracles, keyed by the [`StreamHeader`] that travels
-//! as frame 0 of every stream and snapshot.
+//! Protocol plumbing shared by every process that speaks the framed
+//! pipeline — the `ldp-cli` subcommands, the `ldp_server` aggregation
+//! server, and the bench harness: one client type and one accumulator
+//! type spanning the seven marginal mechanisms *and* the three
+//! frequency oracles, keyed by the [`StreamHeader`] that travels as
+//! frame 0 of every stream and snapshot.
+//!
+//! This crate hosts the module because it is the lowest layer that can
+//! see both protocol families (`ldp_oracles` depends on `ldp_core`).
 
+use crate::streaming::{
+    build_oracle, Oracle, OracleAccumulator, OracleEstimate, OracleKind, OracleReport,
+};
 use ldp_core::frame::StreamHeader;
 use ldp_core::{
     Accumulator, Estimate, Mechanism, MechanismAccumulator, MechanismKind, MechanismReport,
 };
-use ldp_oracles::{
-    build_oracle, Oracle, OracleAccumulator, OracleEstimate, OracleKind, OracleReport,
-};
-use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// A protocol named on the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,14 +62,26 @@ impl Protocol {
             Protocol::Oracle(k) => k.name(),
         }
     }
+
+    /// The protocol a header names, if its tag is known.
+    #[must_use]
+    pub fn from_header(header: &StreamHeader) -> Option<Protocol> {
+        if let Some(kind) = header.mechanism_kind() {
+            return Some(Protocol::Mechanism(kind));
+        }
+        OracleKind::from_wire_tag(header.protocol).map(Protocol::Oracle)
+    }
 }
 
 /// The sketch shape flags (`--hashes`, `--width`, `--family-seed`) an
 /// oracle pipeline carries in its header; ignored by mechanisms.
 #[derive(Clone, Copy, Debug)]
 pub struct SketchShape {
+    /// Hash count `g` (sketch rows).
     pub hashes: u32,
+    /// Row width `w`.
     pub width: u32,
+    /// Seed of the public hash family.
     pub family_seed: u64,
 }
 
@@ -91,7 +108,9 @@ pub fn header_for(
 
 /// The client half of a pipeline: encodes rows into report frames.
 pub enum Client {
+    /// A mechanism client.
     Mechanism(Mechanism),
+    /// A frequency-oracle client.
     Oracle(Oracle),
 }
 
@@ -186,11 +205,72 @@ impl Client {
         ))
     }
 
-    /// Encode one user's record into a report frame payload.
-    pub fn encode_report(&self, row: u64, rng: &mut SmallRng) -> Vec<u8> {
+    /// Encode one user's record into a typed report.
+    pub fn encode<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> PipelineReport {
         match self {
-            Client::Mechanism(m) => m.encode(row, rng).to_bytes(),
-            Client::Oracle(o) => o.encode(row, rng).to_bytes(),
+            Client::Mechanism(m) => PipelineReport::Mechanism(m.encode(row, rng)),
+            Client::Oracle(o) => PipelineReport::Oracle(o.encode(row, rng)),
+        }
+    }
+
+    /// Encode one user's record into a report frame payload.
+    pub fn encode_report<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> Vec<u8> {
+        self.encode(row, rng).to_bytes()
+    }
+}
+
+/// One user's report, for either protocol family — what a report frame
+/// payload decodes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineReport {
+    /// A marginal-mechanism report (frame tags `0x21`–`0x27`).
+    Mechanism(MechanismReport),
+    /// A frequency-oracle report (frame tags `0x31`–`0x33`).
+    Oracle(OracleReport),
+}
+
+impl PipelineReport {
+    /// Serialize into a report frame payload.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            PipelineReport::Mechanism(r) => r.to_bytes(),
+            PipelineReport::Oracle(r) => r.to_bytes(),
+        }
+    }
+
+    /// Decode a report frame payload (self-describing by its leading
+    /// tag byte).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        match bytes.first() {
+            Some(0x21..=0x2F) => MechanismReport::from_bytes(bytes)
+                .map(PipelineReport::Mechanism)
+                .map_err(|e| format!("bad report frame: {e}")),
+            Some(0x31..=0x3F) => OracleReport::from_bytes(bytes)
+                .map(PipelineReport::Oracle)
+                .map_err(|e| format!("bad report frame: {e}")),
+            Some(t) => Err(format!("bad report frame: unknown report tag {t:#04x}")),
+            None => Err("bad report frame: empty payload".to_string()),
+        }
+    }
+
+    /// Display name of the protocol this report belongs to.
+    #[must_use]
+    pub fn protocol_name(&self) -> &'static str {
+        match self {
+            PipelineReport::Mechanism(r) => r.kind().name(),
+            PipelineReport::Oracle(r) => r.kind().name(),
+        }
+    }
+
+    /// The accumulator type tag (`StreamHeader::protocol`) of the
+    /// protocol this report belongs to — the cheap way for a stream
+    /// consumer to check a report against an established header.
+    #[must_use]
+    pub fn protocol_tag(&self) -> u8 {
+        match self {
+            PipelineReport::Mechanism(r) => r.kind().wire_tag(),
+            PipelineReport::Oracle(r) => r.kind().wire_tag(),
         }
     }
 }
@@ -198,7 +278,9 @@ impl Client {
 /// The server half: a type-erased accumulator for either protocol
 /// family.
 pub enum PipelineAccumulator {
+    /// Accumulator for a marginal mechanism.
     Mechanism(MechanismAccumulator),
+    /// Accumulator for a frequency oracle.
     Oracle(OracleAccumulator),
 }
 
@@ -237,36 +319,42 @@ impl PipelineAccumulator {
         }
     }
 
+    /// Absorb one decoded report, rejecting cross-protocol mixes.
+    pub fn absorb(&mut self, report: &PipelineReport) -> Result<(), String> {
+        match (self, report) {
+            (PipelineAccumulator::Mechanism(acc), PipelineReport::Mechanism(report)) => {
+                if report.kind() != acc.kind() {
+                    return Err(format!(
+                        "stream mixes protocols: {} accumulator got a {} report",
+                        acc.kind().name(),
+                        report.kind().name()
+                    ));
+                }
+                acc.absorb(report);
+                Ok(())
+            }
+            (PipelineAccumulator::Oracle(acc), PipelineReport::Oracle(report)) => {
+                if report.kind() != acc.kind() {
+                    return Err(format!(
+                        "stream mixes protocols: {} accumulator got a {} report",
+                        acc.kind().name(),
+                        report.kind().name()
+                    ));
+                }
+                acc.absorb(report);
+                Ok(())
+            }
+            (acc, report) => Err(format!(
+                "stream mixes protocols: {} accumulator got a {} report",
+                acc.protocol_name(),
+                report.protocol_name()
+            )),
+        }
+    }
+
     /// Absorb one report frame payload.
     pub fn absorb_report(&mut self, bytes: &[u8]) -> Result<(), String> {
-        match self {
-            PipelineAccumulator::Mechanism(acc) => {
-                let report = MechanismReport::from_bytes(bytes)
-                    .map_err(|e| format!("bad report frame: {e}"))?;
-                if report.kind() != acc.kind() {
-                    return Err(format!(
-                        "stream mixes protocols: {} accumulator got a {} report",
-                        acc.kind().name(),
-                        report.kind().name()
-                    ));
-                }
-                acc.absorb(&report);
-                Ok(())
-            }
-            PipelineAccumulator::Oracle(acc) => {
-                let report = OracleReport::from_bytes(bytes)
-                    .map_err(|e| format!("bad report frame: {e}"))?;
-                if report.kind() != acc.kind() {
-                    return Err(format!(
-                        "stream mixes protocols: {} accumulator got a {} report",
-                        acc.kind().name(),
-                        report.kind().name()
-                    ));
-                }
-                acc.absorb(&report);
-                Ok(())
-            }
-        }
+        self.absorb(&PipelineReport::from_bytes(bytes)?)
     }
 
     /// Fold another partial aggregate of the same protocol into this
@@ -299,6 +387,15 @@ impl PipelineAccumulator {
         }
     }
 
+    /// Display name of the protocol this accumulator serves.
+    #[must_use]
+    pub fn protocol_name(&self) -> &'static str {
+        match self {
+            PipelineAccumulator::Mechanism(a) => a.kind().name(),
+            PipelineAccumulator::Oracle(a) => a.kind().name(),
+        }
+    }
+
     /// Reports absorbed so far (summed across merges).
     pub fn report_count(&self) -> u64 {
         match self {
@@ -324,8 +421,51 @@ impl PipelineAccumulator {
     }
 }
 
-/// What `query` finalizes a snapshot into.
+/// What a finalized snapshot answers queries through.
 pub enum PipelineEstimate {
+    /// Marginal tables (see `ldp_core::MarginalEstimator`).
     Mechanism(Estimate),
+    /// Per-value frequencies (see [`crate::FrequencyOracle`]).
     Oracle(OracleEstimate),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn typed_reports_round_trip_for_both_families() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for header in [
+            StreamHeader::mechanism(MechanismKind::MargPs, 6, 2, 1.1),
+            crate::streaming::oracle_header(OracleKind::Hcms, 6, 1.1, 3, 16, 9),
+        ] {
+            let client = Client::from_header(&header).unwrap();
+            let mut acc = PipelineAccumulator::empty(&header).unwrap();
+            for u in 0..50u64 {
+                let report = client.encode(u % 64, &mut rng);
+                let back = PipelineReport::from_bytes(&report.to_bytes()).unwrap();
+                assert_eq!(back, report);
+                acc.absorb(&back).unwrap();
+            }
+            assert_eq!(acc.report_count(), 50);
+        }
+    }
+
+    #[test]
+    fn absorb_rejects_cross_family_and_garbage_reports() {
+        let mech_header = StreamHeader::mechanism(MechanismKind::MargPs, 6, 2, 1.1);
+        let oracle_header = crate::streaming::oracle_header(OracleKind::Olh, 6, 1.1, 3, 16, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let oracle_report = Client::from_header(&oracle_header)
+            .unwrap()
+            .encode(1, &mut rng);
+        let mut acc = PipelineAccumulator::empty(&mech_header).unwrap();
+        let err = acc.absorb(&oracle_report).unwrap_err();
+        assert!(err.contains("mixes protocols"), "{err}");
+        assert!(PipelineReport::from_bytes(&[0x7F, 1]).is_err());
+        assert!(PipelineReport::from_bytes(&[]).is_err());
+        assert_eq!(acc.report_count(), 0);
+    }
 }

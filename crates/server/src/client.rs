@@ -1,0 +1,102 @@
+//! Blocking client helpers for the aggregation server: push a report
+//! stream, or hold a control session.
+
+use crate::protocol::{Request, Response};
+use ldp_core::frame::{FrameReader, FrameWriter, StreamHeader};
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpStream};
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// Push one report stream — header frame, then every report frame — and
+/// wait for the server's `Ingested` acknowledgement, which confirms the
+/// reports were *absorbed* (not merely received). Returns the absorbed
+/// count.
+pub fn push_reports(addr: &str, header: &StreamHeader, frames: &[Vec<u8>]) -> Result<u64, String> {
+    let stream = connect(addr)?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone the socket: {e}"))?;
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut writer = FrameWriter::new(BufWriter::new(stream));
+
+    let wrote = (|| {
+        writer.write_frame(&header.to_bytes())?;
+        for frame in frames {
+            writer.write_frame(frame)?;
+        }
+        writer.flush()
+    })();
+    if wrote.is_ok() {
+        // Half-close the write side so the server sees a clean
+        // end-of-stream and answers with the ingest acknowledgement.
+        if let Ok(stream) = writer.into_inner().into_inner() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+    }
+    // Read the server's verdict even if our writes died on a broken
+    // pipe — the server rejects streams by replying and closing, and
+    // its error message beats "connection reset".
+    let response = reader
+        .next_frame()
+        .map_err(|e| format!("no ingest acknowledgement: {e}"))
+        .and_then(|frame| {
+            frame.ok_or_else(|| "server closed the stream without acknowledging".to_string())
+        })
+        .and_then(|frame| {
+            Response::from_bytes(&frame).map_err(|e| format!("bad acknowledgement frame: {e}"))
+        });
+    match response {
+        Ok(Response::Ingested(reports)) => Ok(reports),
+        Ok(Response::Error(message)) => Err(format!("server rejected the stream: {message}")),
+        Ok(other) => Err(format!("unexpected ingest acknowledgement: {other:?}")),
+        Err(e) => match wrote {
+            Err(write_error) => Err(format!("cannot push reports: {write_error}")),
+            Ok(()) => Err(e),
+        },
+    }
+}
+
+/// A control session: one connection carrying any number of sequential
+/// request/response exchanges.
+pub struct Control {
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: FrameWriter<BufWriter<TcpStream>>,
+}
+
+impl Control {
+    /// Open a control connection to a running server.
+    pub fn connect(addr: &str) -> Result<Control, String> {
+        let stream = connect(addr)?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("cannot configure the socket: {e}"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone the socket: {e}"))?;
+        Ok(Control {
+            reader: FrameReader::new(BufReader::new(read_half)),
+            writer: FrameWriter::new(BufWriter::new(stream)),
+        })
+    }
+
+    /// Send one request and wait for its response frame. A
+    /// [`Response::Error`] is surfaced as `Err`.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.writer
+            .write_frame(&request.to_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send the request: {e}"))?;
+        let frame = self
+            .reader
+            .next_frame()
+            .map_err(|e| format!("no response: {e}"))?
+            .ok_or_else(|| "server closed the connection without responding".to_string())?;
+        match Response::from_bytes(&frame).map_err(|e| format!("bad response frame: {e}"))? {
+            Response::Error(message) => Err(message),
+            response => Ok(response),
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The aggregation server: accept loop, connection classification, and
+//! the sharded worker pool.
+//!
+//! One server aggregates one pipeline. The first ingest connection's
+//! `StreamHeader` establishes it and spawns the worker pool — `shards`
+//! threads, each owning a private `PipelineAccumulator`. Connection
+//! handlers decode report frames once and round-robin the typed reports
+//! across workers over `std::sync::mpsc` channels; a live snapshot
+//! collects every worker's serialized state and merges them **in worker
+//! order**, so the `Accumulator` partition-invariance law makes the
+//! result byte-identical to a serial single-process ingest of the same
+//! reports, no matter how connections and workers interleaved.
+
+use crate::protocol::{QueryTarget, Request, Response, ServerStats};
+use ldp_bits::Mask;
+use ldp_core::frame::{FrameError, FrameReader, FrameWriter, StreamHeader};
+use ldp_core::wire::tag;
+use ldp_core::{clamp_normalize, MarginalEstimator};
+use ldp_oracles::pipeline::{PipelineAccumulator, PipelineEstimate, PipelineReport, Protocol};
+use ldp_oracles::FrequencyOracle;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Read timeout on every accepted socket: the upper bound on how long a
+/// connection handler can go without noticing a shutdown (the
+/// `keep_going` check of `FrameReader::next_frame_while`).
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// How often the (non-blocking) accept loop polls for the shutdown
+/// flag while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// What a worker thread can be asked to do. Channel order is the
+/// contract: a `Flush` or `Collect` answers only after every report the
+/// same sender enqueued before it has been absorbed.
+enum WorkerMsg {
+    /// Absorb one decoded report.
+    Report(PipelineReport),
+    /// Acknowledge that everything enqueued earlier is absorbed.
+    Flush(mpsc::Sender<()>),
+    /// Serialize the current accumulator state.
+    Collect(mpsc::Sender<Vec<u8>>),
+}
+
+struct Worker {
+    sender: mpsc::Sender<WorkerMsg>,
+    handle: JoinHandle<()>,
+}
+
+/// The established pipeline: fixed header + the worker pool.
+struct Pipeline {
+    header: StreamHeader,
+    workers: Vec<Worker>,
+}
+
+/// State shared by the accept loop and every connection handler.
+struct Shared {
+    shards: usize,
+    shutdown: AtomicBool,
+    next_worker: AtomicUsize,
+    reports: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    rejected_frames: AtomicU64,
+    started: Instant,
+    pipeline: Mutex<Option<Pipeline>>,
+}
+
+fn worker_loop(mut acc: PipelineAccumulator, rx: mpsc::Receiver<WorkerMsg>, shared: Arc<Shared>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Report(report) => match acc.absorb(&report) {
+                Ok(()) => {
+                    shared.reports.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            WorkerMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            WorkerMsg::Collect(reply) => {
+                let _ = reply.send(acc.to_bytes());
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn keep_going(&self) -> bool {
+        !self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Establish the pipeline from the first stream's header (spawning
+    /// the worker pool), or verify a later stream matches it exactly.
+    fn establish(self: &Arc<Self>, header: StreamHeader) -> Result<(), String> {
+        let mut guard = self.pipeline.lock().expect("pipeline lock");
+        if let Some(pipeline) = guard.as_ref() {
+            if pipeline.header == header {
+                return Ok(());
+            }
+            return Err(format!(
+                "stream header does not match the established {} pipeline \
+                 (one server aggregates one pipeline; start another server \
+                 for a different protocol or parameter set)",
+                Protocol::from_header(&pipeline.header)
+                    .map(Protocol::name)
+                    .unwrap_or("?"),
+            ));
+        }
+        let workers = (0..self.shards)
+            .map(|_| {
+                let acc = PipelineAccumulator::empty(&header)?;
+                let (sender, rx) = mpsc::channel();
+                let shared = Arc::clone(self);
+                let handle = std::thread::spawn(move || worker_loop(acc, rx, shared));
+                Ok(Worker { sender, handle })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        *guard = Some(Pipeline { header, workers });
+        Ok(())
+    }
+
+    /// Clone out the established header and worker senders, so report
+    /// dispatch runs without touching the pipeline lock.
+    fn senders(&self) -> Option<(StreamHeader, Vec<mpsc::Sender<WorkerMsg>>)> {
+        let guard = self.pipeline.lock().expect("pipeline lock");
+        guard.as_ref().map(|p| {
+            (
+                p.header,
+                p.workers.iter().map(|w| w.sender.clone()).collect(),
+            )
+        })
+    }
+
+    /// The live merged snapshot as serialized state (what snapshot
+    /// responses and snapshot files carry).
+    fn collect(&self) -> Result<(StreamHeader, Vec<u8>), String> {
+        let (header, merged) = self.collect_merged()?;
+        Ok((header, merged.to_bytes()))
+    }
+
+    /// The live merged accumulator: every worker's state, merged in
+    /// worker order.
+    fn collect_merged(&self) -> Result<(StreamHeader, PipelineAccumulator), String> {
+        let guard = self.pipeline.lock().expect("pipeline lock");
+        let pipeline = guard
+            .as_ref()
+            .ok_or("no report stream has been ingested yet")?;
+        let receivers: Vec<mpsc::Receiver<Vec<u8>>> = pipeline
+            .workers
+            .iter()
+            .map(|w| {
+                let (tx, rx) = mpsc::channel();
+                w.sender
+                    .send(WorkerMsg::Collect(tx))
+                    .map(|()| rx)
+                    .map_err(|_| "a worker thread exited unexpectedly".to_string())
+            })
+            .collect::<Result<_, String>>()?;
+        let mut merged: Option<PipelineAccumulator> = None;
+        for rx in receivers {
+            let state = rx
+                .recv()
+                .map_err(|_| "a worker thread exited unexpectedly".to_string())?;
+            let acc = PipelineAccumulator::from_state(&pipeline.header, &state)?;
+            merged = Some(match merged {
+                None => acc,
+                Some(mut base) => {
+                    base.merge(acc)?;
+                    base
+                }
+            });
+        }
+        let merged = merged.ok_or("server has no workers")?;
+        Ok((pipeline.header, merged))
+    }
+
+    fn stats(&self) -> ServerStats {
+        let header = self
+            .pipeline
+            .lock()
+            .expect("pipeline lock")
+            .as_ref()
+            .map(|p| p.header);
+        ServerStats {
+            header,
+            reports: self.reports.load(Ordering::Relaxed),
+            workers: self.shards as u32,
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed) as u32,
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Answer one query against the live accumulator (collect, merge,
+    /// finalize).
+    fn query(&self, target: QueryTarget, normalize: bool) -> Result<Vec<f64>, String> {
+        let (header, acc) = self.collect_merged()?;
+        if acc.report_count() == 0 {
+            return Err("accumulator holds no reports; nothing to estimate".to_string());
+        }
+        match (acc.finalize(), target) {
+            (PipelineEstimate::Mechanism(est), QueryTarget::Marginal(bits)) => {
+                if bits == 0 {
+                    return Err("marginal mask selects no attributes".to_string());
+                }
+                if header.d < 64 && bits >> header.d != 0 {
+                    return Err(format!(
+                        "marginal mask {bits:#x} is outside the d = {} domain",
+                        header.d
+                    ));
+                }
+                let mask = Mask(bits);
+                if mask.weight() > est.max_k() {
+                    return Err(format!(
+                        "marginal order {} exceeds the collected k = {}",
+                        mask.weight(),
+                        est.max_k()
+                    ));
+                }
+                let table = est.marginal(mask);
+                Ok(if normalize {
+                    clamp_normalize(&table)
+                } else {
+                    table
+                })
+            }
+            (PipelineEstimate::Oracle(oracle), QueryTarget::Value(value)) => {
+                if header.d < 64 && value >> header.d != 0 {
+                    return Err(format!(
+                        "value {value} is outside the d = {} domain",
+                        header.d
+                    ));
+                }
+                Ok(vec![oracle.estimate(value)])
+            }
+            (PipelineEstimate::Mechanism(_), QueryTarget::Value(_)) => Err(
+                "this server aggregates a mechanism pipeline; query a marginal mask".to_string(),
+            ),
+            (PipelineEstimate::Oracle(_), QueryTarget::Marginal(_)) => {
+                Err("this server aggregates an oracle pipeline; query a value".to_string())
+            }
+        }
+    }
+}
+
+/// What [`Server::run`] returns after a graceful shutdown.
+#[derive(Debug)]
+pub struct ServerSummary {
+    /// The final snapshot (`None` if no stream was ever ingested).
+    pub snapshot: Option<(StreamHeader, Vec<u8>)>,
+    /// Reports absorbed in total.
+    pub reports: u64,
+    /// Connections accepted in total.
+    pub connections: u64,
+}
+
+/// A bound (but not yet running) aggregation server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind to `listen` (e.g. `127.0.0.1:7878`; port `0` picks a free
+    /// port — read it back with [`Server::local_addr`]) with a worker
+    /// pool of `shards` accumulator threads.
+    pub fn bind(listen: &str, shards: usize) -> Result<Server, String> {
+        if shards == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                shards,
+                shutdown: AtomicBool::new(false),
+                next_worker: AtomicUsize::new(0),
+                reports: AtomicU64::new(0),
+                connections_accepted: AtomicU64::new(0),
+                connections_active: AtomicU64::new(0),
+                rejected_frames: AtomicU64::new(0),
+                started: Instant::now(),
+                pipeline: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves a `:0` port request).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("cannot read the bound address: {e}"))
+    }
+
+    /// Serve until a graceful-shutdown request arrives, then drain
+    /// connection handlers, take the final snapshot, and tear down the
+    /// worker pool.
+    pub fn run(self) -> Result<ServerSummary, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll the listener: {e}"))?;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while self.shared.keep_going() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(shared, stream)
+                    }));
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        // Handlers notice the flag within one READ_TIMEOUT window.
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        let snapshot = self.shared.collect().ok();
+        let pipeline = self.shared.pipeline.lock().expect("pipeline lock").take();
+        if let Some(pipeline) = pipeline {
+            for Worker { sender, handle } in pipeline.workers {
+                drop(sender); // closes the channel; the worker loop ends
+                let _ = handle.join();
+            }
+        }
+        Ok(ServerSummary {
+            snapshot,
+            reports: self.shared.reports.load(Ordering::Relaxed),
+            connections: self.shared.connections_accepted.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    shared.connections_active.fetch_add(1, Ordering::Relaxed);
+    // Per-connection failures are answered on the wire (or the peer
+    // vanished); either way the server itself keeps serving.
+    let _ = serve_connection(&shared, stream);
+    shared.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+type ConnReader = FrameReader<BufReader<TcpStream>>;
+type ConnWriter = FrameWriter<BufWriter<TcpStream>>;
+
+fn reply(writer: &mut ConnWriter, response: &Response) -> Result<(), String> {
+    writer
+        .write_frame(&response.to_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot write response: {e}"))
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), String> {
+    stream
+        .set_nonblocking(false)
+        .and_then(|()| stream.set_read_timeout(Some(READ_TIMEOUT)))
+        .and_then(|()| stream.set_nodelay(true))
+        .map_err(|e| format!("cannot configure the socket: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone the socket: {e}"))?;
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut writer = FrameWriter::new(BufWriter::new(stream));
+
+    let first = match reader.next_frame_while(|| shared.keep_going()) {
+        Ok(Some(frame)) => frame,
+        Ok(None) | Err(FrameError::Interrupted) => return Ok(()),
+        Err(e) => return Err(format!("bad first frame: {e}")),
+    };
+    match first.first() {
+        Some(&tag::STREAM_HEADER) => handle_ingest(shared, &first, &mut reader, &mut writer),
+        Some(&(tag::REQ_SNAPSHOT..=tag::REQ_SHUTDOWN)) => {
+            handle_control(shared, first, &mut reader, &mut writer)
+        }
+        _ => {
+            let message = format!(
+                "expected a stream header or request frame, got tag {:?}",
+                first.first()
+            );
+            reply(&mut writer, &Response::Error(message.clone()))?;
+            Err(message)
+        }
+    }
+}
+
+/// An ingest connection: header frame, then report frames until a clean
+/// end-of-stream, answered with one `Ingested` acknowledgement after
+/// every absorbed report is flushed through the workers.
+fn handle_ingest(
+    shared: &Arc<Shared>,
+    header_frame: &[u8],
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
+) -> Result<(), String> {
+    let header = match StreamHeader::from_bytes(header_frame) {
+        Ok(header) => header,
+        Err(e) => {
+            let message = format!("bad header frame: {e}");
+            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+            reply(writer, &Response::Error(message.clone()))?;
+            return Err(message);
+        }
+    };
+    if let Err(message) = shared.establish(header) {
+        shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+        reply(writer, &Response::Error(message.clone()))?;
+        return Err(message);
+    }
+    let (_, senders) = shared.senders().expect("pipeline just established");
+
+    let mut accepted = 0u64;
+    loop {
+        match reader.next_frame_while(|| shared.keep_going()) {
+            Ok(Some(frame)) => {
+                let report = match PipelineReport::from_bytes(&frame) {
+                    Ok(report) if report.protocol_tag() == header.protocol => report,
+                    Ok(report) => {
+                        let message = format!(
+                            "stream mixes protocols: header names tag {:#04x}, report is {}",
+                            header.protocol,
+                            report.protocol_name()
+                        );
+                        shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                        reply(writer, &Response::Error(message.clone()))?;
+                        return Err(message);
+                    }
+                    Err(message) => {
+                        shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                        reply(writer, &Response::Error(message.clone()))?;
+                        return Err(message);
+                    }
+                };
+                let slot = shared.next_worker.fetch_add(1, Ordering::Relaxed) % senders.len();
+                if senders[slot].send(WorkerMsg::Report(report)).is_err() {
+                    return Ok(()); // workers torn down: shutting down
+                }
+                accepted += 1;
+            }
+            Ok(None) => {
+                // Clean end-of-stream: flush every worker so the ack
+                // means "absorbed", not "enqueued".
+                for sender in &senders {
+                    let (tx, rx) = mpsc::channel();
+                    if sender.send(WorkerMsg::Flush(tx)).is_ok() {
+                        let _ = rx.recv();
+                    }
+                }
+                return reply(writer, &Response::Ingested(accepted));
+            }
+            Err(FrameError::Interrupted) => return Ok(()), // shutdown mid-stream
+            Err(e) => {
+                // Disconnect or corruption mid-stream: everything
+                // complete up to here stays absorbed; the partial frame
+                // is dropped.
+                let _ = reply(writer, &Response::Error(format!("report stream: {e}")));
+                return Err(format!("report stream: {e}"));
+            }
+        }
+    }
+}
+
+/// A control connection: request frames until the peer closes, each
+/// answered by exactly one response frame.
+fn handle_control(
+    shared: &Arc<Shared>,
+    first: Vec<u8>,
+    reader: &mut ConnReader,
+    writer: &mut ConnWriter,
+) -> Result<(), String> {
+    let mut frame = first;
+    loop {
+        let (response, stop) = match Request::from_bytes(&frame) {
+            Ok(Request::Snapshot) => (
+                match shared.collect() {
+                    Ok((header, state)) => Response::Snapshot { header, state },
+                    Err(e) => Response::Error(e),
+                },
+                false,
+            ),
+            Ok(Request::Query(q)) => (
+                match shared.query(q.target, q.normalize) {
+                    Ok(table) => Response::Query(table),
+                    Err(e) => Response::Error(e),
+                },
+                false,
+            ),
+            Ok(Request::Stats) => (Response::Stats(shared.stats()), false),
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                (
+                    Response::Shutdown(shared.reports.load(Ordering::Relaxed)),
+                    true,
+                )
+            }
+            Err(e) => (Response::Error(format!("bad request frame: {e}")), false),
+        };
+        reply(writer, &response)?;
+        if stop {
+            return Ok(());
+        }
+        frame = match reader.next_frame_while(|| shared.keep_going()) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(FrameError::Interrupted) => return Ok(()),
+            Err(e) => return Err(format!("control connection: {e}")),
+        };
+    }
+}

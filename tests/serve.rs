@@ -1,0 +1,517 @@
+//! End-to-end proof that the live aggregation server is byte-identical
+//! to the batch pipeline: the snapshot of a real `ldp-cli serve`
+//! process after **concurrent** multi-client ingest must equal — byte
+//! for byte — a serial single-process `ldp-cli ingest` of the same
+//! reports, for mechanisms and oracles alike. Also covers the failure
+//! paths an internet-facing collector must survive: mid-stream
+//! disconnects, malformed headers, and cross-pipeline streams.
+//!
+//! Every test shells out to the real binary for the server and the
+//! reference pipeline; the concurrent clients are raw `TcpStream`
+//! writers speaking the framed wire format directly, so the protocol is
+//! exercised by an implementation independent of `ldp_server::client`.
+
+use ldp_core::frame::{FrameReader, FrameWriter, StreamHeader};
+use ldp_server::Response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Build (once) and locate the release `ldp-cli` binary.
+fn cli_bin() -> PathBuf {
+    static BIN: OnceLock<PathBuf> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let status = Command::new(cargo)
+            .args(["build", "--release", "-p", "ldp_cli"])
+            .current_dir(&root)
+            .status()
+            .expect("failed to spawn cargo build");
+        assert!(status.success(), "cargo build --release -p ldp_cli failed");
+        let target = match std::env::var_os("CARGO_TARGET_DIR") {
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                if dir.is_absolute() {
+                    dir
+                } else {
+                    root.join(dir)
+                }
+            }
+            None => root.join("target"),
+        };
+        let bin = target.join("release").join("ldp-cli");
+        assert!(bin.exists(), "missing {}", bin.display());
+        bin
+    })
+    .clone()
+}
+
+/// Run the binary to completion, asserting success; returns stdout.
+fn run_cli(args: &[&str], stdin: Option<&[u8]>) -> Vec<u8> {
+    let mut cmd = Command::new(cli_bin());
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("failed to spawn ldp-cli");
+    if let Some(bytes) = stdin {
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(bytes)
+            .expect("failed to feed stdin");
+    } else {
+        drop(child.stdin.take());
+    }
+    let output = child.wait_with_output().expect("failed to wait on ldp-cli");
+    assert!(
+        output.status.success(),
+        "ldp-cli {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output.stdout
+}
+
+/// A running `ldp-cli serve` process on an OS-picked port.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    /// Spawn the server and parse the bound address off its first
+    /// stderr line (`serving on 127.0.0.1:PORT (W shards)`).
+    fn start(extra_args: &[&str]) -> ServerProc {
+        let mut cmd = Command::new(cli_bin());
+        cmd.args(["serve", "--listen", "127.0.0.1:0", "--shards", "4"])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let mut child = cmd.spawn().expect("failed to spawn ldp-cli serve");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr);
+        let mut first = String::new();
+        lines
+            .read_line(&mut first)
+            .expect("failed to read the server's first stderr line");
+        let addr = first
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected first stderr line: {first:?}"))
+            .split_whitespace()
+            .next()
+            .expect("address on the first stderr line")
+            .to_string();
+        // Keep draining stderr so the server never blocks on the pipe.
+        std::thread::spawn(move || for _ in lines.lines() {});
+        ServerProc { child, addr }
+    }
+
+    /// Ask for a graceful shutdown and wait for a clean exit.
+    fn shutdown(mut self) {
+        run_cli(&["shutdown", "--connect", &self.addr], None);
+        let status = self.child.wait().expect("failed to wait on the server");
+        assert!(status.success(), "server exited with {status}");
+    }
+}
+
+/// Open a client socket with a read timeout (tests must not hang).
+fn client_socket(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect to the server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+/// Read one response frame from a socket.
+fn read_response(stream: &TcpStream) -> Response {
+    let mut reader = FrameReader::new(stream.try_clone().unwrap());
+    let frame = reader
+        .next_frame()
+        .expect("read a response frame")
+        .expect("server closed without responding");
+    Response::from_bytes(&frame).expect("decode the response frame")
+}
+
+/// The deterministic test population: n records over d attributes.
+fn population(d: u32, n: usize) -> Vec<u64> {
+    let full = (1u64 << d) - 1;
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(7) + 3) & full)
+        .collect()
+}
+
+/// Encode a framed report stream with the real binary and split it into
+/// the header frame plus the individual report frames.
+fn encoded_stream(dir: &Path, protocol: &str, extra: &[&str], n: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let rows = population(4, n);
+    let csv: String = rows.iter().map(|r| format!("{r}\n")).collect();
+    let mut args = vec![
+        "encode",
+        "--protocol",
+        protocol,
+        "--d",
+        "4",
+        "--k",
+        "2",
+        "--eps",
+        "1.1",
+        "--seed",
+        "42",
+    ];
+    args.extend(extra);
+    let stream = run_cli(&args, Some(csv.as_bytes()));
+    std::fs::write(dir.join("stream.bin"), &stream).unwrap();
+    let mut reader = FrameReader::new(stream.as_slice());
+    let header = reader.next_frame().unwrap().expect("header frame");
+    StreamHeader::from_bytes(&header).expect("header frame must parse");
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.next_frame().unwrap() {
+        frames.push(frame);
+    }
+    (header, frames)
+}
+
+/// Write `frames` to a socket as one framed stream, half-close, and
+/// return the server's acknowledgement.
+fn push_stream(addr: &str, header: &[u8], frames: &[Vec<u8>]) -> Response {
+    let stream = client_socket(addr);
+    let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+    writer.write_frame(header).unwrap();
+    for frame in frames {
+        writer.write_frame(frame).unwrap();
+    }
+    writer.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    read_response(&stream)
+}
+
+/// A per-test scratch directory.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp_serve_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole proof: four *simultaneous* client connections stream
+/// disjoint quarters of a report stream into the live server, and the
+/// live snapshot — and the final on-shutdown snapshot — are
+/// byte-identical to a serial single-process `ingest` of the unsplit
+/// stream. Covered for a mechanism whose accumulator is a count map
+/// (InpEM), a dense-table mechanism (MargPS), and an oracle (HCMS).
+#[test]
+fn concurrent_ingest_is_byte_identical_to_serial_ingest() {
+    for (protocol, extra) in [
+        ("MargPS", &[][..]),
+        ("InpEM", &[][..]),
+        (
+            "HCMS",
+            &["--hashes", "3", "--width", "16", "--family-seed", "9"][..],
+        ),
+    ] {
+        let dir = scratch(&format!("determinism_{protocol}"));
+        let (header, frames) = encoded_stream(&dir, protocol, extra, 2_000);
+        let final_path = dir.join("final.bin");
+        let server = ServerProc::start(&["--output", final_path.to_str().unwrap()]);
+
+        // Four clients push disjoint quarters concurrently; each waits
+        // for the server's "absorbed" acknowledgement.
+        let quarter = frames.len().div_ceil(4);
+        std::thread::scope(|scope| {
+            for slice in frames.chunks(quarter) {
+                let (addr, header) = (&server.addr, &header);
+                scope.spawn(move || {
+                    match push_stream(addr, header, slice) {
+                        Response::Ingested(n) => assert_eq!(n as usize, slice.len()),
+                        other => panic!("{protocol}: unexpected ack {other:?}"),
+                    };
+                });
+            }
+        });
+
+        // Live snapshot from the serving process…
+        let live_path = dir.join("live.bin");
+        run_cli(
+            &[
+                "snapshot",
+                "--connect",
+                &server.addr,
+                "--output",
+                live_path.to_str().unwrap(),
+            ],
+            None,
+        );
+        // …vs a serial single-process ingest of the unsplit stream.
+        let serial_path = dir.join("serial.bin");
+        run_cli(
+            &[
+                "ingest",
+                "--input",
+                dir.join("stream.bin").to_str().unwrap(),
+                "--output",
+                serial_path.to_str().unwrap(),
+            ],
+            None,
+        );
+        let live = std::fs::read(&live_path).unwrap();
+        let serial = std::fs::read(&serial_path).unwrap();
+        assert_eq!(
+            live, serial,
+            "{protocol}: live snapshot differs from serial ingest"
+        );
+
+        // Remote queries print exactly what a local query prints —
+        // both the full enumeration (served via one snapshot fetch)…
+        let remote = run_cli(&["query", "--connect", &server.addr], None);
+        let local = run_cli(&["query", "--input", serial_path.to_str().unwrap()], None);
+        assert_eq!(
+            remote, local,
+            "{protocol}: query --connect differs from local query"
+        );
+        // …and a single named target (served via the server-side query
+        // endpoint, REQ_QUERY).
+        let serial_str = serial_path.to_str().unwrap();
+        let target: &[&str] = if protocol == "HCMS" {
+            &["--value", "3"]
+        } else {
+            &["--marginal", "0,3", "--normalize"]
+        };
+        let mut remote_args = vec!["query", "--connect", &server.addr];
+        remote_args.extend(target);
+        let mut local_args = vec!["query", "--input", serial_str];
+        local_args.extend(target);
+        assert_eq!(
+            run_cli(&remote_args, None),
+            run_cli(&local_args, None),
+            "{protocol}: single-target remote query differs from local"
+        );
+
+        // Stats reflect the absorbed stream.
+        let stats =
+            String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+        assert!(
+            stats.contains("reports: 2000 absorbed"),
+            "{protocol}: unexpected stats:\n{stats}"
+        );
+        assert!(
+            stats.contains(protocol),
+            "{protocol}: stats name the pipeline:\n{stats}"
+        );
+
+        // Graceful shutdown writes the same snapshot once more.
+        server.shutdown();
+        let final_snapshot = std::fs::read(&final_path).unwrap();
+        assert_eq!(
+            final_snapshot, serial,
+            "{protocol}: final on-shutdown snapshot differs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `load`'s user numbering is contiguous across its client threads, so
+/// a loaded server's snapshot equals a serial `encode --generate |
+/// ingest` of the same population and seed.
+#[test]
+fn load_traffic_matches_serial_encode_ingest() {
+    let dir = scratch("load");
+    let server = ServerProc::start(&[]);
+    run_cli(
+        &[
+            "load",
+            "--connect",
+            &server.addr,
+            "--protocol",
+            "MargPS",
+            "--d",
+            "8",
+            "--k",
+            "2",
+            "--eps",
+            "1.1",
+            "--seed",
+            "7",
+            "--clients",
+            "4",
+            "--reports",
+            "400",
+        ],
+        None,
+    );
+    let live_path = dir.join("live.bin");
+    run_cli(
+        &[
+            "snapshot",
+            "--connect",
+            &server.addr,
+            "--output",
+            live_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    server.shutdown();
+
+    let stream = run_cli(
+        &[
+            "encode",
+            "--protocol",
+            "MargPS",
+            "--d",
+            "8",
+            "--k",
+            "2",
+            "--eps",
+            "1.1",
+            "--seed",
+            "7",
+            "--generate",
+            "taxi",
+            "--n",
+            "1600",
+        ],
+        None,
+    );
+    let serial = run_cli(&["ingest"], Some(&stream));
+    assert_eq!(
+        std::fs::read(&live_path).unwrap(),
+        serial,
+        "loaded snapshot differs from serial encode | ingest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed and mismatched first frames are rejected with a named
+/// error on the wire — and the server keeps serving afterwards.
+#[test]
+fn malformed_and_mismatched_headers_are_rejected() {
+    let dir = scratch("malformed");
+    let (header, frames) = encoded_stream(&dir, "MargPS", &[], 40);
+    let server = ServerProc::start(&[]);
+
+    // Garbage first frame: neither a header nor a request.
+    let stream = client_socket(&server.addr);
+    let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+    writer.write_frame(&[0x99, 0x01, 0x02]).unwrap();
+    writer.flush().unwrap();
+    match read_response(&stream) {
+        Response::Error(message) => assert!(
+            message.contains("expected a stream header or request frame"),
+            "unexpected error: {message}"
+        ),
+        other => panic!("garbage frame got {other:?}"),
+    }
+
+    // A frame that claims to be a header but does not parse.
+    let stream = client_socket(&server.addr);
+    let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+    writer.write_frame(&[0x40, 0x01, 0xFF]).unwrap();
+    writer.flush().unwrap();
+    match read_response(&stream) {
+        Response::Error(message) => {
+            assert!(message.contains("bad header frame"), "{message}")
+        }
+        other => panic!("truncated header got {other:?}"),
+    }
+
+    // Establish MargPS, then offer a MargHT stream: refused.
+    match push_stream(&server.addr, &header, &frames) {
+        Response::Ingested(40) => {}
+        other => panic!("establishing stream got {other:?}"),
+    }
+    let (other_header, other_frames) = encoded_stream(&dir, "MargHT", &[], 4);
+    match push_stream(&server.addr, &other_header, &other_frames) {
+        Response::Error(message) => assert!(
+            message.contains("does not match the established"),
+            "{message}"
+        ),
+        other => panic!("mismatched header got {other:?}"),
+    }
+
+    // Through all of that, the server kept serving.
+    let stats = String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+    assert!(stats.contains("reports: 40 absorbed"), "{stats}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that dies mid-frame loses only its partial frame: every
+/// complete report stays absorbed, the server stays up, and resending
+/// the unacknowledged tail converges to the exact serial-ingest bytes.
+#[test]
+fn mid_stream_disconnect_keeps_complete_reports_only() {
+    let dir = scratch("disconnect");
+    let (header, frames) = encoded_stream(&dir, "MargPS", &[], 200);
+    let server = ServerProc::start(&[]);
+
+    // Send the header, 3 complete reports, and half of a fourth frame —
+    // then vanish without the clean half-close.
+    {
+        let stream = client_socket(&server.addr);
+        let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+        writer.write_frame(&header).unwrap();
+        for frame in &frames[..3] {
+            writer.write_frame(frame).unwrap();
+        }
+        writer.flush().unwrap();
+        let partial = &frames[3][..frames[3].len() / 2];
+        let mut raw = writer.into_inner();
+        raw.write_all(&(frames[3].len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(partial).unwrap();
+        raw.flush().unwrap();
+        // Dropping both handles closes the socket mid-frame.
+    }
+
+    // The 3 complete reports land; the partial frame is dropped.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats =
+            String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+        if stats.contains("reports: 3 absorbed") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never settled at 3 reports:\n{stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A well-behaved client resends everything the server never
+    // acknowledged (reports 3..): the union is each report exactly
+    // once, so the snapshot equals a serial ingest of the full stream.
+    match push_stream(&server.addr, &header, &frames[3..]) {
+        Response::Ingested(n) => assert_eq!(n as usize, frames.len() - 3),
+        other => panic!("resend got {other:?}"),
+    }
+    let live_path = dir.join("live.bin");
+    run_cli(
+        &[
+            "snapshot",
+            "--connect",
+            &server.addr,
+            "--output",
+            live_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let serial = run_cli(
+        &["ingest"],
+        Some(&std::fs::read(dir.join("stream.bin")).unwrap()),
+    );
+    assert_eq!(
+        std::fs::read(&live_path).unwrap(),
+        serial,
+        "post-disconnect snapshot differs from serial ingest"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
