@@ -53,6 +53,12 @@ pub struct ScenarioPoint {
     pub eps: f64,
     /// Measurement mode (in-process batch vs live TCP serving).
     pub mode: PointMode,
+    /// Ingest batch size for [`PointMode::Batch`] points: `0` absorbs
+    /// the whole report buffer in one `absorb_batch` call; a positive
+    /// value absorbs it in chunks of this many reports — the batch-size
+    /// sweep that shows where the kernels' per-batch setup amortizes.
+    /// Ignored (and always `0`) for serve points.
+    pub batch: usize,
 }
 
 /// A named benchmark scenario: the grid plus its execution parameters.
@@ -87,11 +93,21 @@ impl Scenario {
                             n,
                             eps: 1.1,
                             mode: PointMode::Batch,
+                            batch: 0,
                         });
                     }
                 }
             }
             points
+        };
+        let swept = |mechanism: MechanismKind, n: usize, batch: usize| ScenarioPoint {
+            mechanism,
+            d: 8,
+            k: 2,
+            n,
+            eps: 1.1,
+            mode: PointMode::Batch,
+            batch,
         };
         let serve = |mechanism: MechanismKind, n: usize| ScenarioPoint {
             mechanism,
@@ -100,6 +116,7 @@ impl Scenario {
             n,
             eps: 1.1,
             mode: PointMode::Serve,
+            batch: 0,
         };
         match name {
             // Seconds, not minutes: the CI bench-smoke job runs this on
@@ -108,6 +125,15 @@ impl Scenario {
                 name: "smoke",
                 points: {
                     let mut points = grid(&[2], &[20_000]);
+                    // Batch-size sweep: the server worker's drain bound
+                    // (256) and the CLI ingest scratch (1024), on the
+                    // two kernels with the most per-batch setup to
+                    // amortize (InpEM's dense scratch, MargPS's GRR
+                    // histogram).
+                    for &batch in &[256usize, 1_024] {
+                        points.push(swept(MechanismKind::InpEm, 20_000, batch));
+                        points.push(swept(MechanismKind::MargPs, 20_000, batch));
+                    }
                     points.push(serve(MechanismKind::MargPs, 20_000));
                     points
                 },
@@ -118,6 +144,12 @@ impl Scenario {
                 name: "full",
                 points: {
                     let mut points = grid(&[2, 3], &[100_000, 400_000]);
+                    // Wider batch-size sweep at population scale.
+                    for &batch in &[64usize, 256, 1_024, 4_096] {
+                        points.push(swept(MechanismKind::InpEm, 100_000, batch));
+                        points.push(swept(MechanismKind::MargPs, 100_000, batch));
+                        points.push(swept(MechanismKind::InpRr, 100_000, batch));
+                    }
                     points.push(serve(MechanismKind::MargPs, 100_000));
                     points.push(serve(MechanismKind::InpHt, 100_000));
                     points
@@ -211,12 +243,20 @@ pub fn run_point(
     let snapshot_bytes = acc.to_bytes().len();
 
     // Server ingest: absorb the full report buffer repeatedly inside a
-    // ≥ MIN_MEASURE_SECS window; best rate over `reps`.
+    // ≥ MIN_MEASURE_SECS window; best rate over `reps`. A positive
+    // `point.batch` absorbs in bounded chunks instead — the shape the
+    // server worker drain and the CLI ingest scratch actually run.
     let mut best_ingest = 0.0f64;
     for _ in 0..reps {
         let mut sink = mech.accumulator();
         let (elapsed, iters) = time_at_least(|| {
-            sink.absorb_batch(&reports);
+            if point.batch == 0 {
+                sink.absorb_batch(&reports);
+            } else {
+                for chunk in reports.chunks(point.batch) {
+                    sink.absorb_batch(chunk);
+                }
+            }
             std::hint::black_box(&sink);
         });
         best_ingest = best_ingest.max(point.n as f64 * iters as f64 / elapsed);
@@ -397,12 +437,13 @@ pub fn to_json(scenario_name: &str, results: &[PointResult]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"mechanism\": \"{}\", \"mode\": \"{}\", \"d\": {}, \"k\": {}, \"n\": {}, \
-             \"eps\": {}, \
+            "    {{\"mechanism\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"d\": {}, \"k\": {}, \
+             \"n\": {}, \"eps\": {}, \
              \"encodes_per_sec\": {:.1}, \"reports_per_sec\": {:.1}, \"merges_per_sec\": {:.1}, \
              \"snapshot_bytes\": {}, \"bytes_per_report\": {:.2}}}{}\n",
             r.point.mechanism.name(),
             r.point.mode.name(),
+            r.point.batch,
             r.point.d,
             r.point.k,
             r.point.n,
@@ -453,6 +494,15 @@ pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String
                 other => return Err(format!("unknown mode {other:?}")),
             },
         };
+        // `batch` is likewise a later addition: absent means 0 (absorb
+        // the whole buffer in one call), so older documents still parse.
+        let batch = match e.iter().find(|(k, _)| k == "batch").map(|(_, v)| v) {
+            None => 0usize,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("\"batch\" is not a number: {v:?}"))?
+                as usize,
+        };
         let num = |key: &str| -> Result<f64, String> {
             json::get(e, key)?
                 .as_f64()
@@ -466,6 +516,7 @@ pub fn parse_bench_json(text: &str) -> Result<(String, Vec<PointResult>), String
                 n: num("n")? as usize,
                 eps: num("eps")?,
                 mode,
+                batch,
             },
             encodes_per_sec: num("encodes_per_sec")?,
             reports_per_sec: num("reports_per_sec")?,
@@ -499,10 +550,25 @@ pub fn regressions(
     baseline: &[PointResult],
     max_drop: f64,
 ) -> Vec<String> {
-    let key = |p: &ScenarioPoint| (p.mechanism.name(), p.mode, p.d, p.k, p.n, p.eps.to_bits());
+    let key = |p: &ScenarioPoint| {
+        (
+            p.mechanism.name(),
+            p.mode,
+            p.batch,
+            p.d,
+            p.k,
+            p.n,
+            p.eps.to_bits(),
+        )
+    };
     let label = |p: &ScenarioPoint| {
+        let batch = if p.batch > 0 {
+            format!(" batch={}", p.batch)
+        } else {
+            String::new()
+        };
         format!(
-            "{} [{}] d={} k={} n={}",
+            "{} [{}]{batch} d={} k={} n={}",
             p.mechanism.name(),
             p.mode.name(),
             p.d,
@@ -750,6 +816,7 @@ mod tests {
             n: 2_000,
             eps: 1.1,
             mode: PointMode::Batch,
+            batch: 0,
         }
     }
 
@@ -870,6 +937,82 @@ mod tests {
             "k": 2, "n": 10, "eps": 1.0, "encodes_per_sec": 1, "reports_per_sec": 1,
             "merges_per_sec": 1, "snapshot_bytes": 1, "bytes_per_report": 1}]}"#;
         assert!(parse_bench_json(bad_mech).is_err());
+    }
+
+    #[test]
+    fn batched_points_run_round_trip_and_key_separately() {
+        // A chunked ingest must produce the same accumulator state (and
+        // valid rates) as the one-call point.
+        let whole = tiny_point(MechanismKind::InpEm);
+        let chunked = ScenarioPoint {
+            batch: 128,
+            ..whole
+        };
+        let a = run_point(&whole, 4, 1, 7);
+        let b = run_point(&chunked, 4, 1, 7);
+        assert_eq!(a.snapshot_bytes, b.snapshot_bytes);
+        assert!(b.reports_per_sec > 0.0 && b.reports_per_sec.is_finite());
+
+        let text = to_json("smoke", &[a.clone(), b.clone()]);
+        assert!(text.contains("\"batch\": 0"), "{text}");
+        assert!(text.contains("\"batch\": 128"), "{text}");
+        let (_, back) = parse_bench_json(&text).unwrap();
+        assert_eq!(back[0].point.batch, 0);
+        assert_eq!(back[1].point.batch, 128);
+
+        // Different batch sizes are different grid points: comparing one
+        // against the other reports both sides as missing.
+        assert_eq!(
+            regressions(std::slice::from_ref(&a), std::slice::from_ref(&b), 0.30).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn batch_defaults_to_zero_for_pre_sweep_documents() {
+        let legacy = r#"{"scenario": "x", "results": [{"mechanism": "InpHT", "d": 4,
+            "k": 2, "n": 10, "eps": 1.0, "encodes_per_sec": 1, "reports_per_sec": 1,
+            "merges_per_sec": 1, "snapshot_bytes": 1, "bytes_per_report": 1}]}"#;
+        let (_, results) = parse_bench_json(legacy).unwrap();
+        assert_eq!(results[0].point.batch, 0);
+        let bad = r#"{"scenario": "x", "results": [{"mechanism": "InpHT", "batch": "big",
+            "d": 4, "k": 2, "n": 10, "eps": 1.0, "encodes_per_sec": 1, "reports_per_sec": 1,
+            "merges_per_sec": 1, "snapshot_bytes": 1, "bytes_per_report": 1}]}"#;
+        assert!(parse_bench_json(bad).is_err());
+    }
+
+    #[test]
+    fn gate_passes_exactly_at_threshold_and_fails_just_below() {
+        let base = run_point(&tiny_point(MechanismKind::MargHt), 4, 1, 7);
+        // Exactly at the floor is not a regression: the gate is strict.
+        let mut at_floor = base.clone();
+        at_floor.reports_per_sec = base.reports_per_sec * (1.0 - 0.30);
+        assert!(regressions(
+            std::slice::from_ref(&at_floor),
+            std::slice::from_ref(&base),
+            0.30
+        )
+        .is_empty());
+        // Any measurable amount below the floor is.
+        let mut below = base.clone();
+        below.reports_per_sec = base.reports_per_sec * (1.0 - 0.30) * 0.999;
+        assert_eq!(
+            regressions(
+                std::slice::from_ref(&below),
+                std::slice::from_ref(&base),
+                0.30
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn serve_allowance_caps_below_one() {
+        // Even an absurd --max-regress cannot widen a serve point's
+        // allowance into "any throughput passes".
+        assert!((allowed_drop(PointMode::Serve, 0.90) - 0.95).abs() < 1e-12);
+        assert_eq!(allowed_drop(PointMode::Batch, 0.90), 0.90);
     }
 
     #[test]

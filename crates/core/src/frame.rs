@@ -191,10 +191,19 @@ impl<R: Read> FrameReader<R> {
     /// Read the next frame's payload; `Ok(None)` at a clean end of
     /// stream (the source ends exactly on a frame boundary).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut payload = Vec::new();
+        Ok(self.next_frame_into(&mut payload)?.then_some(payload))
+    }
+
+    /// Read the next frame's payload into a caller-owned buffer
+    /// (cleared, then filled; capacity is reused across calls). Returns
+    /// `Ok(false)` at a clean end of stream — the zero-allocation form
+    /// of [`FrameReader::next_frame`] the batched ingest loops use.
+    pub fn next_frame_into(&mut self, payload: &mut Vec<u8>) -> Result<bool, FrameError> {
         let mut len_bytes = [0u8; 4];
         let got = read_up_to(&mut self.inner, &mut len_bytes)?;
         if got == 0 {
-            return Ok(None);
+            return Ok(false);
         }
         if got < 4 {
             return Err(FrameError::Truncated { needed: 4, got });
@@ -203,15 +212,16 @@ impl<R: Read> FrameReader<R> {
         if len > MAX_FRAME_LEN {
             return Err(FrameError::Oversized(u64::from(len)));
         }
-        let mut payload = vec![0u8; len as usize];
-        let got = read_up_to(&mut self.inner, &mut payload)?;
+        payload.clear();
+        payload.resize(len as usize, 0);
+        let got = read_up_to(&mut self.inner, payload)?;
         if got < payload.len() {
             return Err(FrameError::Truncated {
                 needed: len as usize,
                 got,
             });
         }
-        Ok(Some(payload))
+        Ok(true)
     }
 
     /// Read the next frame from a long-lived socket, staying
@@ -227,10 +237,27 @@ impl<R: Read> FrameReader<R> {
         &mut self,
         keep_going: F,
     ) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut payload = Vec::new();
+        Ok(self
+            .next_frame_while_into(&mut payload, keep_going)?
+            .then_some(payload))
+    }
+
+    /// Buffer-reusing form of [`FrameReader::next_frame_while`]: the
+    /// payload lands in a caller-owned buffer (cleared, then filled) and
+    /// `Ok(false)` marks a clean end of stream. The server's connection
+    /// handlers use this so a long-lived ingest socket performs no
+    /// per-frame allocation once the buffer has grown to the stream's
+    /// largest report.
+    pub fn next_frame_while_into<F: Fn() -> bool>(
+        &mut self,
+        payload: &mut Vec<u8>,
+        keep_going: F,
+    ) -> Result<bool, FrameError> {
         let mut len_bytes = [0u8; 4];
         let got = read_up_to_while(&mut self.inner, &mut len_bytes, &keep_going)?;
         if got == 0 {
-            return Ok(None);
+            return Ok(false);
         }
         if got < 4 {
             return Err(FrameError::Truncated { needed: 4, got });
@@ -239,15 +266,16 @@ impl<R: Read> FrameReader<R> {
         if len > MAX_FRAME_LEN {
             return Err(FrameError::Oversized(u64::from(len)));
         }
-        let mut payload = vec![0u8; len as usize];
-        let got = read_up_to_while(&mut self.inner, &mut payload, &keep_going)?;
+        payload.clear();
+        payload.resize(len as usize, 0);
+        let got = read_up_to_while(&mut self.inner, payload, &keep_going)?;
         if got < payload.len() {
             return Err(FrameError::Truncated {
                 needed: len as usize,
                 got,
             });
         }
-        Ok(Some(payload))
+        Ok(true)
     }
 
     /// Unwrap the source.

@@ -85,6 +85,8 @@ impl InpEm {
             config: self.clone(),
             counts: BTreeMap::new(),
             n: 0,
+            dense: Vec::new(),
+            touched: Vec::new(),
         }
     }
 }
@@ -103,7 +105,17 @@ pub struct InpEmAggregator {
     config: InpEm,
     counts: BTreeMap<u64, u64>,
     n: u64,
+    /// Group-by-value scratch for the batch kernel, owned by the
+    /// aggregator so steady-state batches allocate nothing: `dense` is
+    /// all-zeros and `touched` empty between calls (the fold re-zeroes
+    /// exactly the cells it used). Never serialized; carries no state.
+    dense: Vec<u64>,
+    touched: Vec<u64>,
 }
+
+/// Largest `d` for which the batch kernel groups reports through a
+/// dense `2^d`-cell scratch before touching the count map.
+const DENSE_SCRATCH_MAX_D: u32 = 16;
 
 impl InpEmAggregator {
     /// Absorb one reported row.
@@ -111,6 +123,62 @@ impl InpEmAggregator {
     pub fn absorb(&mut self, report: u64) {
         *self.counts.entry(report).or_insert(0) += 1;
         self.n += 1;
+    }
+
+    /// Batched ingest, grouped by reported value: count the batch into
+    /// the aggregator's dense `2^d` scratch first, then fold only the
+    /// *distinct* rows into the sorted count map — `k` distinct values
+    /// cost `k` map updates instead of one `O(log)` map probe per
+    /// report. The scratch lives on the aggregator (allocated on the
+    /// first batch, re-zeroed cell-by-cell during the fold), so
+    /// steady-state batches allocate nothing. Falls back to the serial
+    /// loop when the domain is too large for a dense scratch. State is
+    /// byte-identical to absorbing each report in order.
+    pub fn absorb_batch(&mut self, reports: &[u64]) {
+        self.absorb_batch_iter(reports.iter().copied());
+    }
+
+    /// Iterator form of [`InpEmAggregator::absorb_batch`], so
+    /// type-erased report buffers (`MechanismReport` /
+    /// `PipelineReport` slices) reach the group-by-value kernel without
+    /// first being gathered into a `u64` buffer.
+    pub fn absorb_batch_iter<I: ExactSizeIterator<Item = u64>>(&mut self, reports: I) {
+        if self.config.d > DENSE_SCRATCH_MAX_D || reports.len() == 0 {
+            for r in reports {
+                InpEmAggregator::absorb(self, r);
+            }
+            return;
+        }
+        let cells = 1usize << self.config.d;
+        if self.dense.len() != cells {
+            // First batch: allocate once; the scratch then stays with
+            // the aggregator, all-zeros between calls.
+            self.dense = vec![0u64; cells];
+        }
+        let mut n = 0u64;
+        for r in reports {
+            n += 1;
+            // Compare in u64 (not a truncating `as usize` index) so an
+            // out-of-domain row from a corrupt wire report can never
+            // alias an in-domain cell on 32-bit targets; such rows are
+            // counted straight into the map, exactly as the serial
+            // loop would.
+            if r < cells as u64 {
+                let slot = &mut self.dense[r as usize];
+                if *slot == 0 {
+                    self.touched.push(r);
+                }
+                *slot += 1;
+            } else {
+                *self.counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        for &r in &self.touched {
+            *self.counts.entry(r).or_insert(0) += self.dense[r as usize];
+            self.dense[r as usize] = 0;
+        }
+        self.touched.clear();
+        self.n += n;
     }
 
     /// Fold another shard's aggregator into this one.
@@ -144,6 +212,10 @@ impl Accumulator for InpEmAggregator {
 
     fn absorb(&mut self, report: &u64) {
         InpEmAggregator::absorb(self, *report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[u64]) {
+        InpEmAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {
@@ -215,6 +287,8 @@ impl Accumulator for InpEmAggregator {
             },
             counts,
             n,
+            dense: Vec::new(),
+            touched: Vec::new(),
         })
     }
 }
@@ -435,6 +509,23 @@ mod tests {
         let (set, failed) = est.decode_all_kway(2);
         assert_eq!(set.marginals().len(), 66);
         assert!(failed > 0, "expected some immediate failures at ε = 0.2");
+    }
+
+    #[test]
+    fn batch_counts_out_of_domain_rows_like_serial() {
+        // Rows above 2^d (possible only from a corrupt wire report) miss
+        // the dense scratch; the kernel must still count them exactly as
+        // the serial loop does.
+        let mech = InpEm::new(4, 1.0);
+        let reports = vec![3u64, 1 << 40, 3, u64::MAX, 5, 3];
+        let mut serial = mech.aggregator();
+        for &r in &reports {
+            serial.absorb(r);
+        }
+        let mut batched = mech.aggregator();
+        batched.absorb_batch(&reports);
+        assert_eq!(serial.to_bytes(), batched.to_bytes());
+        assert_eq!(batched.n(), reports.len());
     }
 
     #[test]

@@ -115,6 +115,20 @@ impl InpHtAggregator {
         self.counts[i] += 1;
     }
 
+    /// Batched ingest (Algorithm 2's inner loop over a report buffer):
+    /// lane-accumulated `i64` sign sums with the table borrows hoisted
+    /// out of the hot loop. State is byte-identical to absorbing each
+    /// report in order.
+    pub fn absorb_batch(&mut self, reports: &[InpHtReport]) {
+        let sums = &mut self.sums[..];
+        let counts = &mut self.counts[..];
+        for r in reports {
+            let i = r.coefficient as usize;
+            sums[i] += if r.sign_positive { 1 } else { -1 };
+            counts[i] += 1;
+        }
+    }
+
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, other: InpHtAggregator) {
         for (a, b) in self.sums.iter_mut().zip(other.sums) {
@@ -158,6 +172,10 @@ impl Accumulator for InpHtAggregator {
 
     fn absorb(&mut self, report: &InpHtReport) {
         InpHtAggregator::absorb(self, *report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[InpHtReport]) {
+        InpHtAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {

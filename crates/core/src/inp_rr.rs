@@ -118,12 +118,34 @@ pub struct InpRrAggregator {
 }
 
 impl InpRrAggregator {
-    /// Absorb one user's report (the positions reporting 1).
+    /// Absorb one user's report (the positions reporting 1). Positions
+    /// are folded into the 2^d-cell table (`pos mod 2^d`), so a corrupt
+    /// wire report degrades to a miscount instead of panicking a
+    /// collector thread; the encoder never produces an out-of-range
+    /// position.
+    #[inline]
     pub fn absorb(&mut self, report: &[u32]) {
+        let mask = self.ones.len() - 1; // cell count is 2^d
         for &pos in report {
-            self.ones[pos as usize] += 1;
+            self.ones[pos as usize & mask] += 1;
         }
         self.n += 1;
+    }
+
+    /// Batched ingest: the serial loop with the table borrow and cell
+    /// mask hoisted out of the per-position hot loop (the masked index
+    /// is provably in range, so the increments compile without bounds
+    /// checks). State is byte-identical to absorbing each report in
+    /// order.
+    pub fn absorb_batch(&mut self, reports: &[Vec<u32>]) {
+        let mask = self.ones.len() - 1;
+        let ones = &mut self.ones[..];
+        for report in reports {
+            for &pos in report {
+                ones[pos as usize & mask] += 1;
+            }
+        }
+        self.n += reports.len();
     }
 
     /// Fold another shard's aggregator into this one.
@@ -161,6 +183,10 @@ impl Accumulator for InpRrAggregator {
 
     fn absorb(&mut self, report: &Vec<u32>) {
         InpRrAggregator::absorb(self, report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[Vec<u32>]) {
+        InpRrAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {

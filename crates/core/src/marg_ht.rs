@@ -99,52 +99,67 @@ impl MargHt {
             rr: self.rr,
             d: self.d,
             k: self.k,
-            sums: vec![vec![0i64; 1usize << self.k]; self.marginals.len()],
-            counts: vec![vec![0u64; 1usize << self.k]; self.marginals.len()],
+            sums: vec![0i64; (1usize << self.k) * self.marginals.len()],
+            counts: vec![0u64; (1usize << self.k) * self.marginals.len()],
         }
     }
 }
 
-/// Aggregator for [`MargHt`]: per-(marginal, coefficient) sign sums.
+/// Aggregator for [`MargHt`]: per-(marginal, coefficient) sign sums,
+/// stored flat (marginal-major) so the per-report hot loop touches one
+/// contiguous table per lane instead of chasing nested `Vec`s.
 #[derive(Clone, Debug)]
 pub struct MargHtAggregator {
     rr: BinaryRandomizedResponse,
     d: u32,
     k: u32,
-    sums: Vec<Vec<i64>>,
-    counts: Vec<Vec<u64>>,
+    sums: Vec<i64>,
+    counts: Vec<u64>,
 }
 
 impl MargHtAggregator {
-    /// Absorb one report.
+    /// Absorb one report. Coefficient indices are folded into the
+    /// sampled marginal's 2^k coefficients (`coefficient mod 2^k`), so a
+    /// corrupt wire report degrades to a miscount instead of panicking a
+    /// collector thread; a report naming a marginal outside `C(d,k)`
+    /// still panics, as before.
     #[inline]
     pub fn absorb(&mut self, report: MargHtReport) {
-        let (m, a) = (report.marginal as usize, report.coefficient as usize);
-        self.sums[m][a] += if report.sign_positive { 1 } else { -1 };
-        self.counts[m][a] += 1;
+        let cells = 1usize << self.k;
+        let idx = report.marginal as usize * cells + (report.coefficient as usize & (cells - 1));
+        self.sums[idx] += if report.sign_positive { 1 } else { -1 };
+        self.counts[idx] += 1;
+    }
+
+    /// Batched ingest: lane-accumulated `i64` sign sums with the flat
+    /// table borrows and coefficient mask hoisted. State is
+    /// byte-identical to absorbing each report in order.
+    pub fn absorb_batch(&mut self, reports: &[MargHtReport]) {
+        let cells = 1usize << self.k;
+        let mask = cells - 1;
+        let sums = &mut self.sums[..];
+        let counts = &mut self.counts[..];
+        for report in reports {
+            let idx = report.marginal as usize * cells + (report.coefficient as usize & mask);
+            sums[idx] += if report.sign_positive { 1 } else { -1 };
+            counts[idx] += 1;
+        }
     }
 
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, other: MargHtAggregator) {
-        for (ta, tb) in self.sums.iter_mut().zip(other.sums) {
-            for (a, b) in ta.iter_mut().zip(tb) {
-                *a += b;
-            }
+        for (a, b) in self.sums.iter_mut().zip(other.sums) {
+            *a += b;
         }
-        for (ta, tb) in self.counts.iter_mut().zip(other.counts) {
-            for (a, b) in ta.iter_mut().zip(tb) {
-                *a += b;
-            }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
         }
     }
 
     /// Number of reports absorbed.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.counts
-            .iter()
-            .map(|t| t.iter().map(|&c| c as usize).sum::<usize>())
-            .sum()
+        self.counts.iter().map(|&c| c as usize).sum()
     }
 
     /// Per marginal: unbias each coefficient, pin `c_0 = 1`, and invert
@@ -155,8 +170,8 @@ impl MargHtAggregator {
         let scale = 1.0 / cells as f64;
         let tables = self
             .sums
-            .iter()
-            .zip(&self.counts)
+            .chunks_exact(cells)
+            .zip(self.counts.chunks_exact(cells))
             .map(|(sums, counts)| {
                 let mut local = vec![0.0f64; cells];
                 local[0] = 1.0; // constant coefficient, known exactly
@@ -184,12 +199,16 @@ impl Accumulator for MargHtAggregator {
         MargHtAggregator::absorb(self, *report);
     }
 
+    fn absorb_batch(&mut self, reports: &[MargHtReport]) {
+        MargHtAggregator::absorb_batch(self, reports);
+    }
+
     fn merge(&mut self, other: Self) {
         MargHtAggregator::merge(self, other);
     }
 
     fn report_count(&self) -> u64 {
-        self.counts.iter().map(|t| t.iter().sum::<u64>()).sum()
+        self.counts.iter().sum()
     }
 
     fn finalize(self) -> MarginalSetEstimate {
@@ -201,18 +220,8 @@ impl Accumulator for MargHtAggregator {
         w.put_u32(self.d);
         w.put_u32(self.k);
         w.put_f64(self.rr.keep_probability());
-        w.put_u64(self.sums.iter().map(|t| t.len() as u64).sum());
-        for table in &self.sums {
-            for &s in table {
-                w.put_i64(s);
-            }
-        }
-        w.put_u64(self.counts.iter().map(|t| t.len() as u64).sum());
-        for table in &self.counts {
-            for &c in table {
-                w.put_u64(c);
-            }
-        }
+        w.put_i64_slice(&self.sums);
+        w.put_u64_slice(&self.counts);
         w.into_bytes()
     }
 
@@ -240,16 +249,12 @@ impl Accumulator for MargHtAggregator {
         if flat_sums.len() as u64 != expected || flat_counts.len() as u64 != expected {
             return Err(WireError::Invalid("MargHT table shape"));
         }
-        let cells = cells_u64 as usize;
         Ok(MargHtAggregator {
             rr: BinaryRandomizedResponse::with_keep_probability(p),
             d,
             k,
-            sums: flat_sums.chunks_exact(cells).map(<[i64]>::to_vec).collect(),
-            counts: flat_counts
-                .chunks_exact(cells)
-                .map(<[u64]>::to_vec)
-                .collect(),
+            sums: flat_sums,
+            counts: flat_counts,
         })
     }
 }

@@ -90,43 +90,58 @@ impl MargPs {
             grr: self.grr,
             d: self.d,
             k: self.k,
-            counts: vec![vec![0u64; 1usize << self.k]; self.marginals.len()],
+            counts: vec![0u64; (1usize << self.k) * self.marginals.len()],
         }
     }
 }
 
-/// Aggregator for [`MargPs`]: per-marginal reported-cell histograms.
+/// Aggregator for [`MargPs`]: per-marginal reported-cell histograms,
+/// stored flat (marginal-major) so the per-report hot loop touches one
+/// contiguous table instead of chasing a nested `Vec`.
 #[derive(Clone, Debug)]
 pub struct MargPsAggregator {
     grr: GeneralizedRandomizedResponse,
     d: u32,
     k: u32,
-    counts: Vec<Vec<u64>>,
+    counts: Vec<u64>,
 }
 
 impl MargPsAggregator {
-    /// Absorb one report.
+    /// Absorb one report. Cell indices are folded into the sampled
+    /// marginal's 2^k-cell histogram (`cell mod 2^k`), so a corrupt
+    /// wire report degrades to a miscount instead of panicking a
+    /// collector thread; a report naming a marginal outside `C(d,k)`
+    /// still panics, as before.
     #[inline]
     pub fn absorb(&mut self, report: MargPsReport) {
-        self.counts[report.marginal as usize][report.cell as usize] += 1;
+        let cells = 1usize << self.k;
+        let idx = report.marginal as usize * cells + (report.cell as usize & (cells - 1));
+        self.counts[idx] += 1;
+    }
+
+    /// Batched ingest: the serial loop with the flat histogram borrow
+    /// and cell mask hoisted. State is byte-identical to absorbing each
+    /// report in order.
+    pub fn absorb_batch(&mut self, reports: &[MargPsReport]) {
+        let cells = 1usize << self.k;
+        let mask = cells - 1;
+        let counts = &mut self.counts[..];
+        for report in reports {
+            counts[report.marginal as usize * cells + (report.cell as usize & mask)] += 1;
+        }
     }
 
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, other: MargPsAggregator) {
-        for (ta, tb) in self.counts.iter_mut().zip(other.counts) {
-            for (a, b) in ta.iter_mut().zip(tb) {
-                *a += b;
-            }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
         }
     }
 
     /// Number of reports absorbed.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.counts
-            .iter()
-            .map(|t| t.iter().map(|&c| c as usize).sum::<usize>())
-            .sum()
+        self.counts.iter().map(|&c| c as usize).sum()
     }
 
     /// Unbias each marginal's histogram. Marginals nobody sampled fall
@@ -137,7 +152,7 @@ impl MargPsAggregator {
         let uniform = 1.0 / cells as f64;
         let tables = self
             .counts
-            .iter()
+            .chunks_exact(cells)
             .map(|hist| {
                 let users: u64 = hist.iter().sum();
                 if users == 0 {
@@ -161,12 +176,16 @@ impl Accumulator for MargPsAggregator {
         MargPsAggregator::absorb(self, *report);
     }
 
+    fn absorb_batch(&mut self, reports: &[MargPsReport]) {
+        MargPsAggregator::absorb_batch(self, reports);
+    }
+
     fn merge(&mut self, other: Self) {
         MargPsAggregator::merge(self, other);
     }
 
     fn report_count(&self) -> u64 {
-        self.counts.iter().map(|t| t.iter().sum::<u64>()).sum()
+        self.counts.iter().sum()
     }
 
     fn finalize(self) -> MarginalSetEstimate {
@@ -178,12 +197,7 @@ impl Accumulator for MargPsAggregator {
         w.put_u32(self.d);
         w.put_u32(self.k);
         w.put_f64(self.grr.truth_probability());
-        w.put_u64(self.counts.iter().map(|t| t.len() as u64).sum());
-        for table in &self.counts {
-            for &c in table {
-                w.put_u64(c);
-            }
-        }
+        w.put_u64_slice(&self.counts);
         w.into_bytes()
     }
 
@@ -214,10 +228,7 @@ impl Accumulator for MargPsAggregator {
             grr: GeneralizedRandomizedResponse::with_truth_probability(cells, ps),
             d,
             k,
-            counts: flat
-                .chunks_exact(cells as usize)
-                .map(<[u64]>::to_vec)
-                .collect(),
+            counts: flat,
         })
     }
 }

@@ -96,29 +96,56 @@ impl MargRr {
             ue: self.ue,
             d: self.d,
             k: self.k,
-            ones: vec![vec![0u64; 1usize << self.k]; self.marginals.len()],
+            ones: vec![0u64; (1usize << self.k) * self.marginals.len()],
             users: vec![0u64; self.marginals.len()],
         }
     }
 }
 
-/// Aggregator for [`MargRr`]: per-marginal per-cell 1-report counts.
+/// Aggregator for [`MargRr`]: per-marginal per-cell 1-report counts,
+/// stored flat (marginal-major) so the per-report hot loop touches one
+/// contiguous table instead of chasing a nested `Vec`.
 #[derive(Clone, Debug)]
 pub struct MargRrAggregator {
     ue: UnaryEncoding,
     d: u32,
     k: u32,
-    ones: Vec<Vec<u64>>,
+    ones: Vec<u64>,
     users: Vec<u64>,
 }
 
 impl MargRrAggregator {
-    /// Absorb one report.
+    /// Absorb one report. Cell indices are folded into the sampled
+    /// marginal's 2^k-cell table (`cell mod 2^k`), so a corrupt wire
+    /// report degrades to a miscount instead of panicking a collector
+    /// thread; a report naming a marginal outside `C(d,k)` still
+    /// panics, as before.
     pub fn absorb(&mut self, report: &MargRrReport) {
+        let cells = 1usize << self.k;
+        let mask = cells - 1;
         let m = report.marginal as usize;
         self.users[m] += 1;
+        let base = m * cells;
         for &c in &report.ones {
-            self.ones[m][c as usize] += 1;
+            self.ones[base + (c as usize & mask)] += 1;
+        }
+    }
+
+    /// Batched ingest: the serial loop with the flat table borrows and
+    /// cell mask hoisted. State is byte-identical to absorbing each
+    /// report in order.
+    pub fn absorb_batch(&mut self, reports: &[MargRrReport]) {
+        let cells = 1usize << self.k;
+        let mask = cells - 1;
+        let users = &mut self.users[..];
+        let ones = &mut self.ones[..];
+        for report in reports {
+            let m = report.marginal as usize;
+            users[m] += 1;
+            let base = m * cells;
+            for &c in &report.ones {
+                ones[base + (c as usize & mask)] += 1;
+            }
         }
     }
 
@@ -127,10 +154,8 @@ impl MargRrAggregator {
         for (a, b) in self.users.iter_mut().zip(other.users) {
             *a += b;
         }
-        for (ta, tb) in self.ones.iter_mut().zip(other.ones) {
-            for (a, b) in ta.iter_mut().zip(tb) {
-                *a += b;
-            }
+        for (a, b) in self.ones.iter_mut().zip(other.ones) {
+            *a += b;
         }
     }
 
@@ -144,16 +169,17 @@ impl MargRrAggregator {
     /// the uniform table.
     #[must_use]
     pub fn finish(self) -> MarginalSetEstimate {
-        let uniform = 1.0 / (1u64 << self.k) as f64;
+        let cells = 1usize << self.k;
+        let uniform = 1.0 / cells as f64;
         let tables = self
             .ones
-            .iter()
+            .chunks_exact(cells)
             .zip(&self.users)
-            .map(|(cells, &u)| {
+            .map(|(table, &u)| {
                 if u == 0 {
-                    vec![uniform; cells.len()]
+                    vec![uniform; table.len()]
                 } else {
-                    cells
+                    table
                         .iter()
                         .map(|&c| self.ue.unbias_frequency(c as f64 / u as f64))
                         .collect()
@@ -170,6 +196,10 @@ impl Accumulator for MargRrAggregator {
 
     fn absorb(&mut self, report: &MargRrReport) {
         MargRrAggregator::absorb(self, report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[MargRrReport]) {
+        MargRrAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {
@@ -191,12 +221,7 @@ impl Accumulator for MargRrAggregator {
         w.put_f64(self.ue.p1());
         w.put_f64(self.ue.p0());
         w.put_u64_slice(&self.users);
-        w.put_u64(self.ones.iter().map(|t| t.len() as u64).sum());
-        for table in &self.ones {
-            for &c in table {
-                w.put_u64(c);
-            }
-        }
+        w.put_u64_slice(&self.ones);
         w.into_bytes()
     }
 
@@ -225,12 +250,11 @@ impl Accumulator for MargRrAggregator {
         if users.len() as u64 != marginals || flat.len() as u64 != expected {
             return Err(WireError::Invalid("MargRR table shape"));
         }
-        let cells = cells as usize;
         Ok(MargRrAggregator {
             ue: UnaryEncoding::with_probabilities(p1, p0),
             d,
             k,
-            ones: flat.chunks_exact(cells).map(<[u64]>::to_vec).collect(),
+            ones: flat,
             users,
         })
     }

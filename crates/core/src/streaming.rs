@@ -185,6 +185,34 @@ impl MechanismReport {
             _ => Err(WireError::Invalid("unknown mechanism report tag")),
         }
     }
+
+    /// Decode a report frame payload into `self`, reusing any heap
+    /// capacity the current value already owns (the `InpRR` / `MargRR`
+    /// position buffers) — the zero-allocation decode path of the
+    /// batched ingest scratch. Accepts and rejects exactly what
+    /// [`MechanismReport::from_bytes`] does; on error `self` is left as
+    /// some valid (but unspecified) report and must not be absorbed.
+    pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        match (Reader::peek_tag(bytes), &mut *self) {
+            (Some(tag::REPORT_INP_RR), MechanismReport::InpRr(ones)) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_RR)?;
+                r.get_u32_vec_into(ones)?;
+                r.finish()
+            }
+            (Some(tag::REPORT_MARG_RR), MechanismReport::MargRr(report)) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_RR)?;
+                report.marginal = r.get_u32()?;
+                r.get_u16_vec_into(&mut report.ones)?;
+                r.finish()
+            }
+            // Every other report kind is a fixed-size value: a plain
+            // decode already allocates nothing.
+            _ => {
+                *self = MechanismReport::from_bytes(bytes)?;
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Type-erased [`Accumulator`] over the seven mechanism aggregators —
@@ -258,7 +286,10 @@ impl Accumulator for MechanismAccumulator {
 
     /// Batched ingest with the accumulator dispatch hoisted out of the
     /// loop: one variant match up front, then a tight absorb loop per
-    /// report (no allocation, no per-report double dispatch).
+    /// report (no allocation, no per-report double dispatch). `InpEM`
+    /// additionally routes through its group-by-value kernel
+    /// (`InpEmAggregator::absorb_batch_iter`), so a batch of n reports
+    /// over k distinct rows costs k count-map updates instead of n.
     fn absorb_batch(&mut self, reports: &[MechanismReport]) {
         macro_rules! drain {
             ($acc:ident, $variant:ident, ref) => {
@@ -283,7 +314,12 @@ impl Accumulator for MechanismAccumulator {
             MechanismAccumulator::MargRr(a) => drain!(a, MargRr, ref),
             MechanismAccumulator::MargPs(a) => drain!(a, MargPs, val),
             MechanismAccumulator::MargHt(a) => drain!(a, MargHt, val),
-            MechanismAccumulator::InpEm(a) => drain!(a, InpEm, val),
+            MechanismAccumulator::InpEm(a) => {
+                a.absorb_batch_iter(reports.iter().map(|r| match r {
+                    MechanismReport::InpEm(row) => *row,
+                    other => kind_mismatch(MechanismKind::InpEm, other.kind()),
+                }))
+            }
         }
     }
 

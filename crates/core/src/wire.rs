@@ -326,21 +326,48 @@ impl<'a> Reader<'a> {
     /// Read a `u32`-length-prefixed `u16` vector, rejecting absurd
     /// lengths before allocating.
     pub fn get_u16_vec(&mut self) -> Result<Vec<u16>, WireError> {
+        let mut out = Vec::new();
+        self.get_u16_vec_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Reader::get_u16_vec`], but decode into a caller-owned
+    /// buffer (cleared first), reusing its capacity — the
+    /// zero-allocation form the batched ingest scratch uses.
+    pub fn get_u16_vec_into(&mut self, out: &mut Vec<u16>) -> Result<(), WireError> {
         let len = self.get_u32()? as usize;
         if self.bytes.len() - self.pos < len.saturating_mul(2) {
             return Err(WireError::Truncated);
         }
-        (0..len).map(|_| self.get_u16()).collect()
+        out.clear();
+        out.reserve(len);
+        for _ in 0..len {
+            out.push(self.get_u16()?);
+        }
+        Ok(())
     }
 
     /// Read a `u32`-length-prefixed `u32` vector, rejecting absurd
     /// lengths before allocating.
     pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let mut out = Vec::new();
+        self.get_u32_vec_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Reader::get_u32_vec`], but decode into a caller-owned
+    /// buffer (cleared first), reusing its capacity.
+    pub fn get_u32_vec_into(&mut self, out: &mut Vec<u32>) -> Result<(), WireError> {
         let len = self.get_u32()? as usize;
         if self.bytes.len() - self.pos < len.saturating_mul(4) {
             return Err(WireError::Truncated);
         }
-        (0..len).map(|_| self.get_u32()).collect()
+        out.clear();
+        out.reserve(len);
+        for _ in 0..len {
+            out.push(self.get_u32()?);
+        }
+        Ok(())
     }
 
     /// Read a `u32`-length-prefixed raw byte string, rejecting absurd

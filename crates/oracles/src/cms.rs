@@ -102,6 +102,23 @@ impl CmsAggregator {
         }
     }
 
+    /// Batched ingest: row-grouped sketch updates — each report's
+    /// sampled row is borrowed once, then its reported positions are
+    /// scattered into that single contiguous row. State is
+    /// byte-identical to absorbing each report in order.
+    pub fn absorb_batch(&mut self, reports: &[CmsReport]) {
+        let users = &mut self.users[..];
+        let ones = &mut self.ones[..];
+        for report in reports {
+            let l = report.row as usize;
+            users[l] += 1;
+            let row = &mut ones[l][..];
+            for &b in &report.ones {
+                row[b as usize] += 1;
+            }
+        }
+    }
+
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, other: CmsAggregator) {
         for (a, b) in self.users.iter_mut().zip(other.users) {
@@ -151,6 +168,10 @@ impl Accumulator for CmsAggregator {
 
     fn absorb(&mut self, report: &CmsReport) {
         CmsAggregator::absorb(self, report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[CmsReport]) {
+        CmsAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {

@@ -125,6 +125,20 @@ impl HadamardCmsAggregator {
         self.counts[l][m] += 1;
     }
 
+    /// Batched ingest: row-grouped sketch updates with lane-accumulated
+    /// `i64` sign sums — each report's sampled row is borrowed once
+    /// before the coefficient lanes are updated. State is byte-identical
+    /// to absorbing each report in order.
+    pub fn absorb_batch(&mut self, reports: &[HcmsReport]) {
+        let sums = &mut self.sums[..];
+        let counts = &mut self.counts[..];
+        for report in reports {
+            let (l, m) = (report.row as usize, report.coefficient as usize);
+            sums[l][m] += if report.sign_positive { 1 } else { -1 };
+            counts[l][m] += 1;
+        }
+    }
+
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, other: HadamardCmsAggregator) {
         for (ra, rb) in self.sums.iter_mut().zip(other.sums) {
@@ -186,6 +200,10 @@ impl Accumulator for HadamardCmsAggregator {
 
     fn absorb(&mut self, report: &HcmsReport) {
         HadamardCmsAggregator::absorb(self, *report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[HcmsReport]) {
+        HadamardCmsAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {

@@ -119,6 +119,14 @@ impl OlhAggregator {
         self.reports.push(report);
     }
 
+    /// Batched ingest: one reservation plus a bulk copy of the whole
+    /// report buffer, instead of a push (with its capacity check) per
+    /// report. State is byte-identical to absorbing each report in
+    /// order.
+    pub fn absorb_batch(&mut self, reports: &[OlhReport]) {
+        self.reports.extend_from_slice(reports);
+    }
+
     /// Fold another shard's aggregator into this one.
     pub fn merge(&mut self, mut other: OlhAggregator) {
         self.reports.append(&mut other.reports);
@@ -152,6 +160,10 @@ impl Accumulator for OlhAggregator {
 
     fn absorb(&mut self, report: &OlhReport) {
         OlhAggregator::absorb(self, *report);
+    }
+
+    fn absorb_batch(&mut self, reports: &[OlhReport]) {
+        OlhAggregator::absorb_batch(self, reports);
     }
 
     fn merge(&mut self, other: Self) {

@@ -254,6 +254,28 @@ impl PipelineReport {
         }
     }
 
+    /// Decode a report frame payload into `self`, reusing any heap
+    /// capacity the current value already owns — the zero-allocation
+    /// decode path of the batched ingest scratch (see
+    /// `MechanismReport::decode_into` and `OracleReport::decode_into`).
+    /// Accepts and rejects exactly what [`PipelineReport::from_bytes`]
+    /// does; on error `self` is left as some valid (but unspecified)
+    /// report and must not be absorbed.
+    pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), String> {
+        match (bytes.first(), &mut *self) {
+            (Some(0x21..=0x2F), PipelineReport::Mechanism(r)) => r
+                .decode_into(bytes)
+                .map_err(|e| format!("bad report frame: {e}")),
+            (Some(0x31..=0x3F), PipelineReport::Oracle(r)) => r
+                .decode_into(bytes)
+                .map_err(|e| format!("bad report frame: {e}")),
+            _ => {
+                *self = PipelineReport::from_bytes(bytes)?;
+                Ok(())
+            }
+        }
+    }
+
     /// Display name of the protocol this report belongs to.
     #[must_use]
     pub fn protocol_name(&self) -> &'static str {
@@ -355,6 +377,56 @@ impl PipelineAccumulator {
     /// Absorb one report frame payload.
     pub fn absorb_report(&mut self, bytes: &[u8]) -> Result<(), String> {
         self.absorb(&PipelineReport::from_bytes(bytes)?)
+    }
+
+    /// Whether [`PipelineAccumulator::absorb`] would accept this report.
+    fn accepts(&self, report: &PipelineReport) -> bool {
+        match (self, report) {
+            (PipelineAccumulator::Mechanism(a), PipelineReport::Mechanism(r)) => {
+                a.kind() == r.kind()
+            }
+            (PipelineAccumulator::Oracle(a), PipelineReport::Oracle(r)) => a.kind() == r.kind(),
+            _ => false,
+        }
+    }
+
+    /// Absorb a buffer of decoded reports with the protocol dispatch
+    /// and kind check hoisted out of the hot loop: one validation pass,
+    /// then the type-erased batch kernels (`InpEM` routes through its
+    /// group-by-value kernel). Rejects the whole batch — absorbing
+    /// nothing — if any report mixes protocols, where the serial loop
+    /// would have absorbed the prefix before the offending report.
+    pub fn absorb_batch(&mut self, reports: &[PipelineReport]) -> Result<(), String> {
+        if let Some(bad) = reports.iter().find(|r| !self.accepts(r)) {
+            return Err(format!(
+                "stream mixes protocols: {} accumulator got a {} report",
+                self.protocol_name(),
+                bad.protocol_name()
+            ));
+        }
+        match self {
+            PipelineAccumulator::Mechanism(MechanismAccumulator::InpEm(a)) => {
+                a.absorb_batch_iter(reports.iter().map(|r| match r {
+                    PipelineReport::Mechanism(MechanismReport::InpEm(row)) => *row,
+                    _ => unreachable!("batch verified homogeneous"),
+                }));
+            }
+            PipelineAccumulator::Mechanism(acc) => {
+                for report in reports {
+                    if let PipelineReport::Mechanism(r) = report {
+                        Accumulator::absorb(acc, r);
+                    }
+                }
+            }
+            PipelineAccumulator::Oracle(acc) => {
+                for report in reports {
+                    if let PipelineReport::Oracle(r) = report {
+                        Accumulator::absorb(acc, r);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Fold another partial aggregate of the same protocol into this

@@ -243,6 +243,29 @@ impl OracleReport {
             _ => Err(WireError::Invalid("unknown oracle report tag")),
         }
     }
+
+    /// Decode a report frame payload into `self`, reusing any heap
+    /// capacity the current value already owns (the CMS position
+    /// buffer) — the zero-allocation decode path of the batched ingest
+    /// scratch. Accepts and rejects exactly what
+    /// [`OracleReport::from_bytes`] does; on error `self` is left as
+    /// some valid (but unspecified) report and must not be absorbed.
+    pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        match (Reader::peek_tag(bytes), &mut *self) {
+            (Some(tag::REPORT_CMS), OracleReport::Cms(report)) => {
+                let mut r = Reader::with_tag(bytes, tag::REPORT_CMS)?;
+                report.row = r.get_u8()?;
+                r.get_u16_vec_into(&mut report.ones)?;
+                r.finish()
+            }
+            // OLH and HCMS reports are fixed-size values: a plain
+            // decode already allocates nothing.
+            _ => {
+                *self = OracleReport::from_bytes(bytes)?;
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Type-erased [`Accumulator`] over the three oracle aggregators.
@@ -287,6 +310,28 @@ impl Accumulator for OracleAccumulator {
             (OracleAccumulator::Cms(a), OracleReport::Cms(r)) => Accumulator::absorb(a, r),
             (OracleAccumulator::Hcms(a), OracleReport::Hcms(r)) => Accumulator::absorb(a, r),
             (acc, r) => kind_mismatch(acc.kind(), r.kind()),
+        }
+    }
+
+    /// Batched ingest with the accumulator dispatch hoisted out of the
+    /// loop: one variant match up front, then the concrete aggregator's
+    /// row-grouped absorb per report (no allocation, no per-report
+    /// double dispatch).
+    fn absorb_batch(&mut self, reports: &[OracleReport]) {
+        macro_rules! drain {
+            ($acc:ident, $variant:ident) => {
+                for report in reports {
+                    match report {
+                        OracleReport::$variant(r) => Accumulator::absorb($acc, r),
+                        other => kind_mismatch(OracleKind::$variant, other.kind()),
+                    }
+                }
+            };
+        }
+        match &mut *self {
+            OracleAccumulator::Olh(a) => drain!(a, Olh),
+            OracleAccumulator::Cms(a) => drain!(a, Cms),
+            OracleAccumulator::Hcms(a) => drain!(a, Hcms),
         }
     }
 

@@ -70,22 +70,68 @@ struct Shared {
     pipeline: Mutex<Option<Pipeline>>,
 }
 
+/// Upper bound on how many queued reports a worker drains into its
+/// local batch before absorbing. Batching amortizes the accumulator's
+/// protocol dispatch and kind checks over the whole drained run; the
+/// bound caps the latency of a `Flush`/`Collect` queued behind a long
+/// report run and the worker's transient memory. See
+/// `docs/OPERATIONS.md` for sizing guidance.
+pub const WORKER_BATCH: usize = 256;
+
+/// Absorb a drained batch, keeping the buffer (and its capacity) for
+/// the next drain — the worker's steady state performs no per-report
+/// allocation of its own.
+fn absorb_drained(acc: &mut PipelineAccumulator, batch: &mut Vec<PipelineReport>, shared: &Shared) {
+    if batch.is_empty() {
+        return;
+    }
+    // Handlers validate every report against the established header
+    // before dispatching, so a rejected batch can only mean a logic
+    // error upstream; account for it rather than crash the worker.
+    match acc.absorb_batch(batch) {
+        Ok(()) => {
+            shared
+                .reports
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        Err(_) => {
+            shared
+                .rejected_frames
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+    }
+    batch.clear();
+}
+
 fn worker_loop(mut acc: PipelineAccumulator, rx: mpsc::Receiver<WorkerMsg>, shared: Arc<Shared>) {
+    let mut batch: Vec<PipelineReport> = Vec::with_capacity(WORKER_BATCH);
     while let Ok(msg) = rx.recv() {
-        match msg {
-            WorkerMsg::Report(report) => match acc.absorb(&report) {
-                Ok(()) => {
-                    shared.reports.fetch_add(1, Ordering::Relaxed);
+        let mut pending = Some(msg);
+        while let Some(msg) = pending.take() {
+            match msg {
+                WorkerMsg::Report(report) => {
+                    batch.push(report);
+                    // Drain whatever else is already queued (channel
+                    // order is the contract: a control message stops
+                    // the drain and is handled after the batch).
+                    while batch.len() < WORKER_BATCH {
+                        match rx.try_recv() {
+                            Ok(WorkerMsg::Report(r)) => batch.push(r),
+                            Ok(control) => {
+                                pending = Some(control);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    absorb_drained(&mut acc, &mut batch, &shared);
                 }
-                Err(_) => {
-                    shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                WorkerMsg::Flush(ack) => {
+                    let _ = ack.send(());
                 }
-            },
-            WorkerMsg::Flush(ack) => {
-                let _ = ack.send(());
-            }
-            WorkerMsg::Collect(reply) => {
-                let _ = reply.send(acc.to_bytes());
+                WorkerMsg::Collect(reply) => {
+                    let _ = reply.send(acc.to_bytes());
+                }
             }
         }
     }
@@ -424,9 +470,14 @@ fn handle_ingest(
     let (_, senders) = shared.senders().expect("pipeline just established");
 
     let mut accepted = 0u64;
+    // One reusable frame buffer per connection: after it has grown to
+    // the stream's largest report, the read loop performs no per-frame
+    // allocation (the decoded report itself is owned by the worker it
+    // is dispatched to).
+    let mut frame = Vec::new();
     loop {
-        match reader.next_frame_while(|| shared.keep_going()) {
-            Ok(Some(frame)) => {
+        match reader.next_frame_while_into(&mut frame, || shared.keep_going()) {
+            Ok(true) => {
                 let report = match PipelineReport::from_bytes(&frame) {
                     Ok(report) if report.protocol_tag() == header.protocol => report,
                     Ok(report) => {
@@ -451,7 +502,7 @@ fn handle_ingest(
                 }
                 accepted += 1;
             }
-            Ok(None) => {
+            Ok(false) => {
                 // Clean end-of-stream: flush every worker so the ack
                 // means "absorbed", not "enqueued".
                 for sender in &senders {

@@ -10,6 +10,7 @@
 //! population and combine their states in any topology.
 
 use marginal_ldp::core::user_rng;
+use marginal_ldp::oracles::{OracleAccumulator, OracleKind, OracleReport};
 use marginal_ldp::prelude::*;
 use proptest::prelude::*;
 
@@ -33,6 +34,29 @@ fn permutation(n: usize, seed: u64) -> Vec<usize> {
         perm.swap(i, j);
     }
     perm
+}
+
+/// Serialized state after a serial `absorb` loop vs after
+/// `absorb_batch` over the given chunk lengths (clamped to the buffer;
+/// whatever the chunking leaves over lands in one final batch). Empty
+/// chunks become empty batches on purpose.
+fn serial_vs_batched<A: Accumulator>(
+    mut serial: A,
+    mut batched: A,
+    reports: &[A::Report],
+    chunks: &[usize],
+) -> (Vec<u8>, Vec<u8>) {
+    for r in reports {
+        serial.absorb(r);
+    }
+    let mut start = 0usize;
+    for &len in chunks {
+        let end = (start + len).min(reports.len());
+        batched.absorb_batch(&reports[start..end]);
+        start = end;
+    }
+    batched.absorb_batch(&reports[start..]);
+    (serial.to_bytes(), batched.to_bytes())
 }
 
 proptest! {
@@ -103,4 +127,101 @@ proptest! {
             );
         }
     }
+
+    /// `absorb_batch` over any chunking — empty chunks and singleton
+    /// chunks included — is byte-identical to the serial `absorb` loop,
+    /// for every mechanism and every frequency oracle (the type-erased
+    /// batch kernels, including InpEM's group-by-value path).
+    #[test]
+    fn batched_ingest_matches_serial_for_every_protocol(
+        n in 0usize..250,
+        seed in 0u64..1_000,
+        chunks in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        for kind in ALL_KINDS {
+            let mechanism = kind.build(4, 2, 1.1);
+            let reports: Vec<MechanismReport> = (0..n as u64)
+                .map(|u| mechanism.encode((u * 37 + seed) % 16, &mut user_rng(seed, u)))
+                .collect();
+            let (serial, batched) = serial_vs_batched(
+                mechanism.accumulator(),
+                mechanism.accumulator(),
+                &reports,
+                &chunks,
+            );
+            prop_assert_eq!(&batched, &serial, "{} batched ingest diverged", kind.name());
+        }
+        for kind in OracleKind::ALL {
+            let oracle = kind.build(6, 1.1, 3, 16, 9);
+            let reports: Vec<OracleReport> = (0..n as u64)
+                .map(|u| oracle.encode((u * 37 + seed) % 64, &mut user_rng(seed, u)))
+                .collect();
+            let (serial, batched) = serial_vs_batched(
+                oracle.accumulator(),
+                oracle.accumulator(),
+                &reports,
+                &chunks,
+            );
+            prop_assert_eq!(&batched, &serial, "{} batched ingest diverged", kind.name());
+        }
+        // The type-erased oracle accumulator's hoisted dispatch.
+        for kind in OracleKind::ALL {
+            let oracle = kind.build(6, 1.1, 3, 16, 9);
+            let reports: Vec<OracleReport> = (0..n as u64)
+                .map(|u| oracle.encode(u % 64, &mut user_rng(seed, u)))
+                .collect();
+            let mut serial: OracleAccumulator = oracle.accumulator();
+            for r in &reports {
+                serial.absorb(r);
+            }
+            let mut batched: OracleAccumulator = oracle.accumulator();
+            batched.absorb_batch(&reports);
+            prop_assert_eq!(
+                &batched.to_bytes(),
+                &serial.to_bytes(),
+                "{} type-erased batched ingest diverged",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The typed per-aggregator batch kernels, driven directly (not through
+/// the type-erased enums): the empty buffer, empty batches, singleton
+/// batches, and the whole-buffer batch all match the serial loop for
+/// each of the seven mechanisms and three oracles.
+#[test]
+fn typed_batch_kernels_match_serial_including_empty_and_singleton() {
+    use marginal_ldp::core::{InpEm, InpHt, InpPs, InpRr, MargHt, MargPs, MargRr};
+    use marginal_ldp::oracles::{Cms, HadamardCms, Olh};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    macro_rules! check_typed {
+        ($name:expr, $mech:expr) => {{
+            let mech = $mech;
+            let mut rng = StdRng::seed_from_u64(9);
+            let reports: Vec<_> = (0..200u64).map(|u| mech.encode(u % 16, &mut rng)).collect();
+            for chunks in [vec![], vec![0, 1, 0, 1], vec![7, 500]] {
+                let (serial, batched) =
+                    serial_vs_batched(mech.aggregator(), mech.aggregator(), &reports, &chunks);
+                assert_eq!(serial, batched, "{} chunking {:?}", $name, chunks);
+            }
+            let (serial, batched) =
+                serial_vs_batched(mech.aggregator(), mech.aggregator(), &reports[..0], &[]);
+            assert_eq!(serial, batched, "{} empty buffer", $name);
+        }};
+    }
+
+    check_typed!("InpRR", InpRr::new(4, 1.1));
+    check_typed!("InpPS", InpPs::new(4, 1.1));
+    check_typed!("InpHT", InpHt::new(4, 2, 1.1));
+    check_typed!("InpEM", InpEm::new(4, 1.1));
+    // d > 16: the InpEM kernel's serial-fallback path (no dense scratch).
+    check_typed!("InpEM-wide", InpEm::new(20, 1.1));
+    check_typed!("MargRR", MargRr::new(4, 2, 1.1));
+    check_typed!("MargPS", MargPs::new(4, 2, 1.1));
+    check_typed!("MargHT", MargHt::new(4, 2, 1.1));
+    check_typed!("OLH", Olh::new(4, 1.1));
+    check_typed!("CMS", Cms::new(4, 1.1, 3, 16, 9));
+    check_typed!("HCMS", HadamardCms::new(4, 1.1, 3, 16, 9));
 }
