@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn tree_has_d_minus_1_edges_and_spans() {
-        let tree = maximum_spanning_tree(6, |a, b| ((a * 7 + b * 13) % 11) as f64);
+        let tree = maximum_spanning_tree(6, |a, b| f64::from((a * 7 + b * 13) % 11));
         assert_eq!(tree.len(), 5);
         let mut dsu = DisjointSet::new(6);
         for e in &tree {
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn reweigh_keeps_topology() {
-        let tree = maximum_spanning_tree(4, |a, b| (a + b) as f64);
+        let tree = maximum_spanning_tree(4, |a, b| f64::from(a + b));
         let rescored = reweigh(&tree, |_, _| 1.0);
         assert_eq!(rescored.len(), tree.len());
         assert_eq!(total_weight(&rescored), 3.0);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Statistical analysis on reconstructed marginals (§6 of the paper).

@@ -84,7 +84,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
     let mut d = 1.0 / b;
     let mut h = d;
     for i in 1..500 {
-        let an = -(i as f64) * (i as f64 - a);
+        let an = -f64::from(i) * (f64::from(i) - a);
         b += 2.0;
         d = an * d + b;
         if d.abs() < TINY {
@@ -188,7 +188,7 @@ mod tests {
     fn chi2_sf_monotone() {
         let mut prev = 1.0;
         for i in 1..100 {
-            let x = i as f64 * 0.5;
+            let x = f64::from(i) * 0.5;
             let s = chi2_sf(x, 3);
             assert!(s <= prev + 1e-12);
             prev = s;

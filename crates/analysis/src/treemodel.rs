@@ -76,8 +76,7 @@ impl TreeModel {
             order.push(start);
             let p1 = adj[start as usize]
                 .first()
-                .map(|(other, t)| marginal_of(t, start < *other).1)
-                .unwrap_or(0.5);
+                .map_or(0.5, |(other, t)| marginal_of(t, start < *other).1);
             root_p1.push(p1);
 
             // BFS.
@@ -212,9 +211,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let b0 = rng.gen_bool(0.6) as u64;
-                let b1 = rng.gen_bool(if b0 == 1 { 0.8 } else { 0.2 }) as u64;
-                let b2 = rng.gen_bool(if b1 == 1 { 0.9 } else { 0.3 }) as u64;
+                let b0 = u64::from(rng.gen_bool(0.6));
+                let b1 = u64::from(rng.gen_bool(if b0 == 1 { 0.8 } else { 0.2 }));
+                let b2 = u64::from(rng.gen_bool(if b1 == 1 { 0.9 } else { 0.3 }));
                 b0 | (b1 << 1) | (b2 << 2)
             })
             .collect()

@@ -29,13 +29,13 @@ fn binomial_regimes(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(4);
     // Inversion regime (np < 10) vs BTPE rejection regime.
     group.bench_function("binv_n1e3_p0.005", |b| {
-        b.iter(|| black_box(binomial(&mut rng, 1_000, 0.005)))
+        b.iter(|| black_box(binomial(&mut rng, 1_000, 0.005)));
     });
     group.bench_function("btpe_n1e5_p0.4", |b| {
-        b.iter(|| black_box(binomial(&mut rng, 100_000, 0.4)))
+        b.iter(|| black_box(binomial(&mut rng, 100_000, 0.4)));
     });
     group.bench_function("btpe_n1e8_p0.37", |b| {
-        b.iter(|| black_box(binomial(&mut rng, 100_000_000, 0.37)))
+        b.iter(|| black_box(binomial(&mut rng, 100_000_000, 0.37)));
     });
     group.finish();
 }

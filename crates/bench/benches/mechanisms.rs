@@ -20,31 +20,31 @@ fn encode_per_user(c: &mut Criterion) {
 
     let inp_rr = InpRr::new(d, eps);
     group.bench_function("InpRR", |b| {
-        b.iter(|| black_box(inp_rr.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(inp_rr.encode(black_box(row), &mut rng)));
     });
     let inp_ps = InpPs::new(d, eps);
     group.bench_function("InpPS", |b| {
-        b.iter(|| black_box(inp_ps.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(inp_ps.encode(black_box(row), &mut rng)));
     });
     let inp_ht = InpHt::new(d, k, eps);
     group.bench_function("InpHT", |b| {
-        b.iter(|| black_box(inp_ht.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(inp_ht.encode(black_box(row), &mut rng)));
     });
     let marg_rr = MargRr::new(d, k, eps);
     group.bench_function("MargRR", |b| {
-        b.iter(|| black_box(marg_rr.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(marg_rr.encode(black_box(row), &mut rng)));
     });
     let marg_ps = MargPs::new(d, k, eps);
     group.bench_function("MargPS", |b| {
-        b.iter(|| black_box(marg_ps.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(marg_ps.encode(black_box(row), &mut rng)));
     });
     let marg_ht = MargHt::new(d, k, eps);
     group.bench_function("MargHT", |b| {
-        b.iter(|| black_box(marg_ht.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(marg_ht.encode(black_box(row), &mut rng)));
     });
     let inp_em = InpEm::new(d, eps);
     group.bench_function("InpEM", |b| {
-        b.iter(|| black_box(inp_em.encode(black_box(row), &mut rng)))
+        b.iter(|| black_box(inp_em.encode(black_box(row), &mut rng)));
     });
     group.finish();
 }
@@ -59,7 +59,7 @@ fn end_to_end(c: &mut Criterion) {
     for kind in MechanismKind::SIX {
         let mech = kind.build(d, k, eps);
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &mech, |b, m| {
-            b.iter(|| black_box(m.run(data.rows(), 7)))
+            b.iter(|| black_box(m.run(data.rows(), 7)));
         });
     }
     group.finish();
@@ -75,7 +75,7 @@ fn em_decode(c: &mut Criterion) {
     };
     let beta = ldp_bits::Mask::from_attrs(&[1, 2]);
     c.bench_function("inp_em_decode_one_2way", |b| {
-        b.iter(|| black_box(em.decode(black_box(beta))))
+        b.iter(|| black_box(em.decode(black_box(beta))));
     });
 }
 

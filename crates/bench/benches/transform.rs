@@ -21,7 +21,7 @@ fn fwht_scaling(c: &mut Criterion) {
                     let mut y = x.clone();
                     fwht(&mut y);
                     black_box(y)
-                })
+                });
             },
         );
     }
@@ -42,10 +42,10 @@ fn reconstruction(c: &mut Criterion) {
             black_box(marginal_from_coefficients(black_box(beta), |a| {
                 coeffs[a.bits() as usize]
             }))
-        })
+        });
     });
     c.bench_function("marginalize_direct_d16_k3", |b| {
-        b.iter(|| black_box(marginalize(black_box(&dist), d, beta)))
+        b.iter(|| black_box(marginalize(black_box(&dist), d, beta)));
     });
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Accuracy ablations for the design choices called out in `DESIGN.md`
 //! §5:
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 10 (Appendix B.2): frequency-oracle baselines vs InpHT on
 //! lightly-skewed synthetic data as d grows; e^ε = 3, InpOLH with a
 //! decode-operation budget (the paper's 12-hour timeout, scaled), and
@@ -71,7 +72,7 @@ fn main() {
                 );
                 count += 1;
             }
-            hcms.push(total / count as f64);
+            hcms.push(total / f64::from(count));
         }
         rows.push(vec![
             format!("{d}"),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 2: the 2-way ⟨M_pick, M_drop⟩ marginal of the taxi data.
 //!
 //! The generator is calibrated to the paper's table

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 3: the attribute-correlation heatmap of the taxi data, printed
 //! as a Pearson-coefficient matrix.
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 4: mean total variation distance of 1/2/3-way marginals over
 //! the movielens data as the population size N varies, for all six
 //! mechanisms; d ∈ {4, 8, 16}, k ∈ {1, 2, 3}, ε = ln 3.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 5: effect of the marginal order k on accuracy; taxi data,
 //! N = 2^18, e^ε = 3, d = 8, k = 1…7, all six mechanisms.
 

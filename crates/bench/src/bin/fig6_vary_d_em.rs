@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 6: k = 2 comparison against the EM heuristic at larger
 //! dimensionalities (achieved, as in the paper, by duplicating taxi
 //! columns); InpHT and MargPS vs InpEM across ε.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 7: χ² association testing on the taxi data; N = 256K,
 //! ε = 1.1. Private χ² values (InpHT and MargPS marginals) vs the
 //! non-private statistic and the 0.95-confidence critical value.

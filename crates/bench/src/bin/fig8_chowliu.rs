@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 8: total mutual information of Chow–Liu dependency trees on
 //! the movielens data (d = 10, N = 200K) as ε varies. Trees are learnt
 //! from private 2-way marginals (InpHT / MargPS) and scored by the

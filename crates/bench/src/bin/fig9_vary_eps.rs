@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 9 (Appendix B.1): mean TVD for 1/2/3-way marginals over
 //! N = 2^18 movielens users as the privacy budget ε varies.
 

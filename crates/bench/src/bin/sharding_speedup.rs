@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Sharded-runner scaling experiment: serial vs `run_sharded` wall time
 //! on a large synthetic population, with bit-identity verification.
 //!
@@ -20,12 +21,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args
         .next()
-        .map(|a| a.parse().expect("n must be an integer"))
-        .unwrap_or(1_000_000);
+        .map_or(1_000_000, |a| a.parse().expect("n must be an integer"));
     let shards: usize = args
         .next()
-        .map(|a| a.parse().expect("shards must be an integer"))
-        .unwrap_or(8);
+        .map_or(8, |a| a.parse().expect("shards must be an integer"));
     let (d, k, eps, seed) = (8u32, 2u32, 1.1f64, 42u64);
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);

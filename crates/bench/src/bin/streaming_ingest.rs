@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Streaming-ingest experiment: reports/sec and accumulator memory of
 //! the incremental [`Accumulator`] path vs materializing every report
 //! before aggregating.
@@ -55,8 +56,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut next = |default: f64| -> f64 {
         args.next()
-            .map(|a| a.parse().expect("arguments must be numeric"))
-            .unwrap_or(default)
+            .map_or(default, |a| a.parse().expect("arguments must be numeric"))
     };
     let n = next(200_000.0) as usize;
     let d = next(8.0) as u32;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 2: per-method communication cost (bits) and error behavior —
 //! the analytic columns plus a measured-error column to confirm the
 //! relative ordering the table predicts.

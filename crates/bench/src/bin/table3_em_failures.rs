@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 3: InpEM failure rate (EM converging immediately to the uniform
 //! prior) on the taxi data for small ε — the seven parameter rows of the
 //! paper's table.
@@ -26,7 +27,7 @@ fn main() {
     let rows: Vec<Vec<String>> = rows_cfg
         .iter()
         .map(|&(n, d, k, eps)| {
-            let data = DataSource::Taxi.generate(d, n, (d as u64) << 8 | (n as u64));
+            let data = DataSource::Taxi.generate(d, n, u64::from(d) << 8 | (n as u64));
             let est = MechanismKind::InpEm.build(d, k, eps).run(data.rows(), 7);
             let Estimate::Em(em) = est else {
                 unreachable!("InpEm produces Em estimates")

@@ -13,7 +13,7 @@ pub fn binomial(n: u64, k: u64) -> u64 {
     let k = k.min(n - k);
     let mut result: u128 = 1;
     for i in 0..k {
-        result = result * (n - i) as u128 / (i + 1) as u128;
+        result = result * u128::from(n - i) / u128::from(i + 1);
     }
     u64::try_from(result).expect("binomial coefficient overflows u64")
 }

@@ -1,3 +1,9 @@
+// The only crate in the workspace not under `#![forbid(unsafe_code)]`:
+// the BMI2 PEXT/PDEP intrinsics in `pext.rs` need `unsafe` for the
+// `#[target_feature]` calls. `deny` (not `forbid`) leaves room for the
+// narrowly-scoped `#[allow(unsafe_code)]` island there — and nothing
+// else; a stray `unsafe` anywhere else in the crate still fails.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Bit-mask algebra over the Boolean hypercube `{0,1}^d`.
@@ -41,7 +47,7 @@ pub use subsets::{masks_of_weight, masks_of_weight_at_most, submasks, SubmaskIte
 #[inline(always)]
 #[must_use]
 pub fn parity(a: u64, b: u64) -> u64 {
-    (a & b).count_ones() as u64 & 1
+    u64::from((a & b).count_ones()) & 1
 }
 
 /// `(−1)^{⟨a,b⟩}` as an `f64` — the sign of a Hadamard matrix entry.
@@ -85,7 +91,7 @@ mod tests {
             for b in 0u64..32 {
                 let expect = if parity(a, b) == 0 { 1.0 } else { -1.0 };
                 assert_eq!(pm_one(a, b), expect);
-                assert_eq!(pm_one_i8(a, b) as f64, expect);
+                assert_eq!(f64::from(pm_one_i8(a, b)), expect);
             }
         }
     }

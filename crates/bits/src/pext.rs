@@ -65,6 +65,7 @@ fn bmi2_available() -> bool {
 
 /// # Safety
 /// The CPU must support BMI2.
+#[allow(unsafe_code)] // the documented BMI2 island; see lib.rs
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "bmi2")]
 #[inline]
@@ -74,6 +75,7 @@ unsafe fn pext_bmi2(x: u64, mask: u64) -> u64 {
 
 /// # Safety
 /// The CPU must support BMI2.
+#[allow(unsafe_code)] // the documented BMI2 island; see lib.rs
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "bmi2")]
 #[inline]
@@ -87,6 +89,7 @@ unsafe fn pdep_bmi2(x: u64, mask: u64) -> u64 {
 /// loop otherwise).
 #[inline]
 #[must_use]
+#[allow(unsafe_code)] // the documented BMI2 island; see lib.rs
 pub fn compress(x: u64, mask: u64) -> u64 {
     #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
     {
@@ -114,6 +117,7 @@ pub fn compress(x: u64, mask: u64) -> u64 {
 /// loop otherwise).
 #[inline]
 #[must_use]
+#[allow(unsafe_code)] // the documented BMI2 island; see lib.rs
 pub fn expand(x: u64, mask: u64) -> u64 {
     #[cfg(all(target_arch = "x86_64", target_feature = "bmi2"))]
     {

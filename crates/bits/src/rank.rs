@@ -15,7 +15,7 @@ use crate::{binomial, binomial_table, Mask};
 pub fn rank_weight_k(mask: Mask) -> u64 {
     let mut rank = 0u64;
     for (i, attr) in mask.attrs().enumerate() {
-        rank += binomial(attr as u64, i as u64 + 1);
+        rank += binomial(u64::from(attr), i as u64 + 1);
     }
     rank
 }
@@ -28,7 +28,7 @@ pub fn unrank_weight_k(rank: u64, k: u32) -> Mask {
     let mut r = rank;
     // Choose positions from the highest down: the i-th highest position c
     // satisfies C(c, i) ≤ remaining < C(c+1, i).
-    for i in (1..=k as u64).rev() {
+    for i in (1..=u64::from(k)).rev() {
         let mut c = i - 1; // smallest position that can host the i-th bit
         while binomial(c + 1, i) <= r {
             c += 1;

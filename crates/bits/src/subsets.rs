@@ -136,7 +136,11 @@ mod tests {
         for d in 1..=10u32 {
             for k in 0..=d {
                 let v: Vec<Mask> = masks_of_weight(d, k).collect();
-                assert_eq!(v.len() as u64, binomial(d as u64, k as u64), "d={d} k={k}");
+                assert_eq!(
+                    v.len() as u64,
+                    binomial(u64::from(d), u64::from(k)),
+                    "d={d} k={k}"
+                );
                 assert!(v.iter().all(|m| m.weight() == k));
                 assert!(v.windows(2).all(|w| w[0].bits() < w[1].bits()));
             }

@@ -361,9 +361,7 @@ pub fn query(flags: &Flags) -> Result<(), String> {
     if reports == 0 {
         return Err("no reports collected; nothing to estimate".to_string());
     }
-    let protocol = Protocol::from_header(&header)
-        .map(Protocol::name)
-        .unwrap_or("?");
+    let protocol = Protocol::from_header(&header).map_or("?", Protocol::name);
     let mut out = open_output(flags.get("output").unwrap_or("-"))?;
 
     if header.mechanism_kind().is_some() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ldp-cli` — the end-to-end LDP marginal-release pipeline as a
 //! process surface.
 //!

@@ -92,23 +92,30 @@ pub fn load(flags: &Flags) -> Result<(), String> {
     // phase measures the serving path, not client-side encoding.
     let rows = data.rows();
     let frames: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
-        (0..clients)
-            .map(|c| {
+        rows.chunks(per_client)
+            .enumerate()
+            .map(|(c, chunk)| {
                 let client = &client;
                 scope.spawn(move || {
-                    (c * per_client..(c + 1) * per_client)
-                        .map(|user| {
-                            let mut rng = user_rng(seed, user as u64);
-                            client.encode_report(rows[user], &mut rng)
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &row)| {
+                            let user = (c * per_client + i) as u64;
+                            let mut rng = user_rng(seed, user);
+                            client.encode_report(row, &mut rng)
                         })
                         .collect::<Vec<Vec<u8>>>()
                 })
             })
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|h| h.join().expect("encoder thread"))
-            .collect()
-    });
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "an encoder thread panicked".to_string())
+            })
+            .collect::<Result<_, String>>()
+    })?;
     let wire_bytes: usize = frames.iter().flatten().map(Vec::len).sum();
 
     let t0 = Instant::now();
@@ -118,7 +125,10 @@ pub fn load(flags: &Flags) -> Result<(), String> {
             .map(|slice| scope.spawn(move || push_reports(addr, &header, slice)))
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|h| h.join().expect("client thread"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("a load client thread panicked".to_string()))
+            })
             .sum::<Result<u64, String>>()
     })?;
     let elapsed = t0.elapsed().as_secs_f64();
@@ -156,7 +166,7 @@ pub fn stats(flags: &Flags) -> Result<(), String> {
         Response::Stats(s) => {
             match &s.header {
                 Some(h) => {
-                    let name = Protocol::from_header(h).map(Protocol::name).unwrap_or("?");
+                    let name = Protocol::from_header(h).map_or("?", Protocol::name);
                     println!("pipeline: {name} d={} k={} eps={}", h.d, h.k, h.eps);
                 }
                 None => println!("pipeline: none (no report stream yet)"),

@@ -136,10 +136,12 @@ pub struct FrameReader<R: Read> {
 }
 
 /// Fill `buf` as far as the source allows, tolerating short reads.
+/// `get_mut` (not direct slicing) keeps the loop index-panic-free even
+/// against a source that over-reports its read count.
 fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut got = 0;
-    while got < buf.len() {
-        match r.read(&mut buf[got..]) {
+    while let Some(rest) = buf.get_mut(got..).filter(|rest| !rest.is_empty()) {
+        match r.read(rest) {
             Ok(0) => break,
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -161,8 +163,8 @@ fn read_up_to_while<R: Read, F: Fn() -> bool>(
     keep_going: &F,
 ) -> Result<usize, FrameError> {
     let mut got = 0;
-    while got < buf.len() {
-        match r.read(&mut buf[got..]) {
+    while let Some(rest) = buf.get_mut(got..).filter(|rest| !rest.is_empty()) {
+        match r.read(rest) {
             Ok(0) => break,
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

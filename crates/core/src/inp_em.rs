@@ -179,6 +179,16 @@ impl InpEmAggregator {
         }
         self.touched.clear();
         self.n += n;
+        // The scratch must leave this call exactly as it entered: fully
+        // zeroed and with no touched-list residue. A cell the fold
+        // missed would leak this batch's counts into the next one and
+        // break partition invariance; the debug-mode suite doubles as a
+        // dynamic check of that invariant.
+        debug_assert!(self.touched.is_empty());
+        debug_assert!(
+            self.dense.iter().all(|&c| c == 0),
+            "dense scratch not re-zeroed after the batch fold"
+        );
     }
 
     /// Fold another shard's aggregator into this one.

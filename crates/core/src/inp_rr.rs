@@ -335,7 +335,7 @@ mod tests {
             }
         }
         for (cell, s) in sums.iter().enumerate() {
-            let mean = s / reps as f64;
+            let mean = s / f64::from(reps);
             let truth = if cell == 0 { 1.0 } else { 0.0 };
             assert!((mean - truth).abs() < 0.05, "cell {cell}: {mean}");
         }

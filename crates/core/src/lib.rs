@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The six marginal-release mechanisms of *Marginal Release Under Local

@@ -141,6 +141,14 @@ impl MargHtAggregator {
         let counts = &mut self.counts[..];
         for report in reports {
             let idx = report.marginal as usize * cells + (report.coefficient as usize & mask);
+            // Named invariant before the raw index: the coefficient is
+            // masked into range, so the marginal index is the only way
+            // this kernel can leave the flat tables.
+            debug_assert!(
+                idx < counts.len(),
+                "report marginal {} outside the C(d,k) coefficient tables",
+                report.marginal
+            );
             sums[idx] += if report.sign_positive { 1 } else { -1 };
             counts[idx] += 1;
         }

@@ -127,6 +127,14 @@ impl MargPsAggregator {
         let mask = cells - 1;
         let counts = &mut self.counts[..];
         for report in reports {
+            // Named invariant before the raw index: the cell offset is
+            // masked into range, so the marginal index is the only way
+            // this kernel can leave the flat histogram.
+            debug_assert!(
+                report.marginal as usize * cells < counts.len(),
+                "report marginal {} outside the C(d,k) histogram set",
+                report.marginal
+            );
             counts[report.marginal as usize * cells + (report.cell as usize & mask)] += 1;
         }
     }

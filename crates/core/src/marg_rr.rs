@@ -141,6 +141,13 @@ impl MargRrAggregator {
         let ones = &mut self.ones[..];
         for report in reports {
             let m = report.marginal as usize;
+            // Named invariant before the raw index: the cell offset is
+            // masked into range, so the marginal index is the only way
+            // this kernel can leave the flat table.
+            debug_assert!(
+                m < users.len(),
+                "report marginal {m} outside the C(d,k) table set"
+            );
             users[m] += 1;
             let base = m * cells;
             for &c in &report.ones {

@@ -318,7 +318,7 @@ impl Accumulator for MechanismAccumulator {
                 a.absorb_batch_iter(reports.iter().map(|r| match r {
                     MechanismReport::InpEm(row) => *row,
                     other => kind_mismatch(MechanismKind::InpEm, other.kind()),
-                }))
+                }));
             }
         }
     }

@@ -201,7 +201,12 @@ impl Writer {
 
     /// Append a `u32`-length-prefixed `u16` slice (the compact form used
     /// by per-report frames, where every byte counts).
+    ///
+    /// The compact prefix caps the slice at `u32::MAX` elements; real
+    /// report slices are orders of magnitude below it (and the 1 GiB
+    /// frame cap rejects anything near it on the wire).
     pub fn put_u16_slice(&mut self, vs: &[u16]) {
+        debug_assert!(vs.len() <= 0xFFFF_FFFF, "slice exceeds the u32 prefix");
         self.put_u32(vs.len() as u32);
         for &v in vs {
             self.put_u16(v);
@@ -210,6 +215,7 @@ impl Writer {
 
     /// Append a `u32`-length-prefixed `u32` slice (compact report form).
     pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        debug_assert!(vs.len() <= 0xFFFF_FFFF, "slice exceeds the u32 prefix");
         self.put_u32(vs.len() as u32);
         for &v in vs {
             self.put_u32(v);
@@ -219,6 +225,10 @@ impl Writer {
     /// Append a `u32`-length-prefixed raw byte string (UTF-8 messages,
     /// nested wire blobs).
     pub fn put_bytes(&mut self, vs: &[u8]) {
+        debug_assert!(
+            vs.len() <= 0xFFFF_FFFF,
+            "byte string exceeds the u32 prefix"
+        );
         self.put_u32(vs.len() as u32);
         self.buf.extend_from_slice(vs);
     }
@@ -266,37 +276,54 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.bytes.len() - self.pos < n {
+        // `get` (not direct slicing) keeps a corrupt length from ever
+        // panicking the decoder: an out-of-range request is `Truncated`.
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let out = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Validate a slice length prefix against the bytes actually
+    /// remaining — comparing in `u64`, so a prefix above `usize::MAX`
+    /// can never truncate into a plausible small length on 32-bit
+    /// targets — then narrow it for use as an element count.
+    fn checked_len(&self, len: u64, elem_bytes: u64) -> Result<usize, WireError> {
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        let needed = len.checked_mul(elem_bytes).ok_or(WireError::Truncated)?;
+        if needed > remaining {
             return Err(WireError::Truncated);
         }
-        let out = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
+        Ok(len as usize)
     }
 
     /// Read one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Read a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let bytes = self.take(2)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Read a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(i64::from_le_bytes(bytes))
     }
 
     /// Read an `f64` bit pattern.
@@ -307,19 +334,15 @@ impl<'a> Reader<'a> {
     /// Read a length-prefixed `u64` vector, rejecting absurd lengths
     /// before allocating.
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
-        let len = self.get_u64()? as usize;
-        if self.bytes.len() - self.pos < len.saturating_mul(8) {
-            return Err(WireError::Truncated);
-        }
+        let prefix = self.get_u64()?;
+        let len = self.checked_len(prefix, 8)?;
         (0..len).map(|_| self.get_u64()).collect()
     }
 
     /// Read a length-prefixed `i64` vector.
     pub fn get_i64_vec(&mut self) -> Result<Vec<i64>, WireError> {
-        let len = self.get_u64()? as usize;
-        if self.bytes.len() - self.pos < len.saturating_mul(8) {
-            return Err(WireError::Truncated);
-        }
+        let prefix = self.get_u64()?;
+        let len = self.checked_len(prefix, 8)?;
         (0..len).map(|_| self.get_i64()).collect()
     }
 
@@ -335,10 +358,8 @@ impl<'a> Reader<'a> {
     /// buffer (cleared first), reusing its capacity — the
     /// zero-allocation form the batched ingest scratch uses.
     pub fn get_u16_vec_into(&mut self, out: &mut Vec<u16>) -> Result<(), WireError> {
-        let len = self.get_u32()? as usize;
-        if self.bytes.len() - self.pos < len.saturating_mul(2) {
-            return Err(WireError::Truncated);
-        }
+        let prefix = self.get_u32()?;
+        let len = self.checked_len(u64::from(prefix), 2)?;
         out.clear();
         out.reserve(len);
         for _ in 0..len {
@@ -358,10 +379,8 @@ impl<'a> Reader<'a> {
     /// Like [`Reader::get_u32_vec`], but decode into a caller-owned
     /// buffer (cleared first), reusing its capacity.
     pub fn get_u32_vec_into(&mut self, out: &mut Vec<u32>) -> Result<(), WireError> {
-        let len = self.get_u32()? as usize;
-        if self.bytes.len() - self.pos < len.saturating_mul(4) {
-            return Err(WireError::Truncated);
-        }
+        let prefix = self.get_u32()?;
+        let len = self.checked_len(u64::from(prefix), 4)?;
         out.clear();
         out.reserve(len);
         for _ in 0..len {
@@ -373,17 +392,16 @@ impl<'a> Reader<'a> {
     /// Read a `u32`-length-prefixed raw byte string, rejecting absurd
     /// lengths before allocating.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
-        let len = self.get_u32()? as usize;
+        let prefix = self.get_u32()?;
+        let len = self.checked_len(u64::from(prefix), 1)?;
         Ok(self.take(len)?.to_vec())
     }
 
     /// Read a length-prefixed `f64` vector, rejecting absurd lengths
     /// before allocating.
     pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
-        let len = self.get_u64()? as usize;
-        if self.bytes.len() - self.pos < len.saturating_mul(8) {
-            return Err(WireError::Truncated);
-        }
+        let prefix = self.get_u64()?;
+        let len = self.checked_len(prefix, 8)?;
         (0..len).map(|_| self.get_f64()).collect()
     }
 

@@ -117,28 +117,28 @@ impl TaxiGenerator {
             (0, 0)
         };
         let within = m_pick == 1 && m_drop == 1;
-        let far = rng.gen_bool(if within {
+        let far = u64::from(rng.gen_bool(if within {
             self.p_far_within
         } else {
             self.p_far_outside
-        }) as u64;
-        let toll = rng.gen_bool(if far == 1 {
+        }));
+        let toll = u64::from(rng.gen_bool(if far == 1 {
             self.p_toll_far
         } else {
             self.p_toll_near
-        }) as u64;
-        let night_pick = rng.gen_bool(self.p_night_pick) as u64;
-        let night_drop = rng.gen_bool(if night_pick == 1 {
+        }));
+        let night_pick = u64::from(rng.gen_bool(self.p_night_pick));
+        let night_drop = u64::from(rng.gen_bool(if night_pick == 1 {
             self.p_nd_np
         } else {
             self.p_nd_day
-        }) as u64;
-        let cc = rng.gen_bool(self.p_cc) as u64;
-        let tip = rng.gen_bool(if cc == 1 {
+        }));
+        let cc = u64::from(rng.gen_bool(self.p_cc));
+        let tip = u64::from(rng.gen_bool(if cc == 1 {
             self.p_tip_cc
         } else {
             self.p_tip_cash
-        }) as u64;
+        }));
 
         cc << attr::CC
             | toll << attr::TOLL

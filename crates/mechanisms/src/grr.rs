@@ -159,13 +159,13 @@ mod tests {
                 kept += 1;
             }
         }
-        let rate = kept as f64 / n as f64;
+        let rate = kept as f64 / f64::from(n);
         assert!((rate - g.truth_probability()).abs() < 0.005, "{rate}");
         // Each lie equally likely.
         let q = g.lie_probability();
         for (j, &c) in counts.iter().enumerate() {
             if j as u64 != truth {
-                assert!((c as f64 / n as f64 - q).abs() < 0.005, "lie {j}");
+                assert!((c as f64 / f64::from(n) - q).abs() < 0.005, "lie {j}");
             }
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Basic local-differential-privacy primitives (§3.1 of the paper).

@@ -122,7 +122,7 @@ mod tests {
             let mean: f64 = (0..n)
                 .map(|_| rr.unbias_sign(rr.perturb_sign(truth, &mut rng)))
                 .sum::<f64>()
-                / n as f64;
+                / f64::from(n);
             assert!((mean - truth).abs() < 0.02, "truth {truth}: {mean}");
         }
     }
@@ -148,8 +148,8 @@ mod tests {
         let samples: Vec<f64> = (0..n)
             .map(|_| rr.unbias_sign(rr.perturb_sign(1.0, &mut rng)))
             .collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
         assert!(var <= rr.sign_estimator_variance_bound() + 0.05);
     }
 

@@ -62,7 +62,7 @@ fn ldp_binomial(n: u64, k: u64) -> u64 {
     let k = k.min(n - k);
     let mut r: u128 = 1;
     for i in 0..k {
-        r = r * (n - i) as u128 / (i + 1) as u128;
+        r = r * u128::from(n - i) / u128::from(i + 1);
     }
     r as u64
 }
@@ -146,9 +146,9 @@ impl MethodBound {
         let two_k = (1u64 << k) as f64;
         let shape = match self {
             // Thm 4.3: 2^{(d+k)/2}.
-            MethodBound::InpRr => (2.0f64).powf((d + k) as f64 / 2.0),
+            MethodBound::InpRr => (2.0f64).powf(f64::from(d + k) / 2.0),
             // Thm 4.4: 2^{d + k/2}.
-            MethodBound::InpPs => (2.0f64).powf(d as f64 + k as f64 / 2.0),
+            MethodBound::InpPs => (2.0f64).powf(f64::from(d) + f64::from(k) / 2.0),
             // Thm 4.5: 2^{k/2} √T.
             MethodBound::InpHt => two_k.sqrt() * (coefficient_count(d, k) as f64).sqrt(),
             // §4.3: 2^k √C(d,k).

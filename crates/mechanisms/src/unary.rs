@@ -171,7 +171,7 @@ mod tests {
         let mut ones = vec![0u64; m];
         for _ in 0..n {
             for (i, bit) in ue.perturb_onehot(m, one_at, &mut rng).iter().enumerate() {
-                ones[i] += *bit as u64;
+                ones[i] += u64::from(*bit);
             }
         }
         for (i, &c) in ones.iter().enumerate() {
@@ -190,7 +190,7 @@ mod tests {
         let mut ones = 0u64;
         for i in 0..n {
             let bit = (i as f64 / n as f64) < truth;
-            ones += ue.perturb_bit(bit, &mut rng) as u64;
+            ones += u64::from(ue.perturb_bit(bit, &mut rng));
         }
         let est = ue.unbias_frequency(ones as f64 / n as f64);
         assert!((est - truth).abs() < 0.01, "{est}");

@@ -129,20 +129,20 @@ fn validate_header(header: &StreamHeader) -> Result<(), String> {
                 ));
             }
         }
-        Some(MechanismKind::InpPs) | Some(MechanismKind::InpEm) => {
+        Some(kind @ (MechanismKind::InpPs | MechanismKind::InpEm)) => {
             if !(1..=26).contains(&header.d) {
                 return Err(format!(
                     "{} materializes 2^d cells; need d ≤ 26, got {}",
-                    header.mechanism_kind().unwrap().name(),
+                    kind.name(),
                     header.d
                 ));
             }
         }
-        Some(MechanismKind::MargRr) | Some(MechanismKind::MargPs) | Some(MechanismKind::MargHt) => {
+        Some(kind @ (MechanismKind::MargRr | MechanismKind::MargPs | MechanismKind::MargHt)) => {
             if header.k > 16 {
                 return Err(format!(
                     "{} materializes 2^k marginal tables; need k ≤ 16, got {}",
-                    header.mechanism_kind().unwrap().name(),
+                    kind.name(),
                     header.k
                 ));
             }

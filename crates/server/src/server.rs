@@ -21,7 +21,7 @@ use ldp_oracles::FrequencyOracle;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -142,10 +142,19 @@ impl Shared {
         !self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Lock the pipeline slot, recovering from poison: the lock is only
+    /// poisoned if a holder panicked, and everything under it (the
+    /// header and the worker handles) is valid at every instruction, so
+    /// one crashed connection handler must not cascade a panic into
+    /// every other handler that touches the pipeline afterwards.
+    fn lock_pipeline(&self) -> MutexGuard<'_, Option<Pipeline>> {
+        self.pipeline.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Establish the pipeline from the first stream's header (spawning
     /// the worker pool), or verify a later stream matches it exactly.
     fn establish(self: &Arc<Self>, header: StreamHeader) -> Result<(), String> {
-        let mut guard = self.pipeline.lock().expect("pipeline lock");
+        let mut guard = self.lock_pipeline();
         if let Some(pipeline) = guard.as_ref() {
             if pipeline.header == header {
                 return Ok(());
@@ -154,9 +163,7 @@ impl Shared {
                 "stream header does not match the established {} pipeline \
                  (one server aggregates one pipeline; start another server \
                  for a different protocol or parameter set)",
-                Protocol::from_header(&pipeline.header)
-                    .map(Protocol::name)
-                    .unwrap_or("?"),
+                Protocol::from_header(&pipeline.header).map_or("?", Protocol::name),
             ));
         }
         let workers = (0..self.shards)
@@ -175,7 +182,7 @@ impl Shared {
     /// Clone out the established header and worker senders, so report
     /// dispatch runs without touching the pipeline lock.
     fn senders(&self) -> Option<(StreamHeader, Vec<mpsc::Sender<WorkerMsg>>)> {
-        let guard = self.pipeline.lock().expect("pipeline lock");
+        let guard = self.lock_pipeline();
         guard.as_ref().map(|p| {
             (
                 p.header,
@@ -194,7 +201,7 @@ impl Shared {
     /// The live merged accumulator: every worker's state, merged in
     /// worker order.
     fn collect_merged(&self) -> Result<(StreamHeader, PipelineAccumulator), String> {
-        let guard = self.pipeline.lock().expect("pipeline lock");
+        let guard = self.lock_pipeline();
         let pipeline = guard
             .as_ref()
             .ok_or("no report stream has been ingested yet")?;
@@ -228,12 +235,7 @@ impl Shared {
     }
 
     fn stats(&self) -> ServerStats {
-        let header = self
-            .pipeline
-            .lock()
-            .expect("pipeline lock")
-            .as_ref()
-            .map(|p| p.header);
+        let header = self.lock_pipeline().as_ref().map(|p| p.header);
         ServerStats {
             header,
             reports: self.reports.load(Ordering::Relaxed),
@@ -363,7 +365,7 @@ impl Server {
                         .fetch_add(1, Ordering::Relaxed);
                     let shared = Arc::clone(&self.shared);
                     handlers.push(std::thread::spawn(move || {
-                        handle_connection(shared, stream)
+                        handle_connection(shared, stream);
                     }));
                     handlers.retain(|h| !h.is_finished());
                 }
@@ -378,7 +380,7 @@ impl Server {
             let _ = handle.join();
         }
         let snapshot = self.shared.collect().ok();
-        let pipeline = self.shared.pipeline.lock().expect("pipeline lock").take();
+        let pipeline = self.shared.lock_pipeline().take();
         if let Some(pipeline) = pipeline {
             for Worker { sender, handle } in pipeline.workers {
                 drop(sender); // closes the channel; the worker loop ends
@@ -467,7 +469,11 @@ fn handle_ingest(
         reply(writer, &Response::Error(message.clone()))?;
         return Err(message);
     }
-    let (_, senders) = shared.senders().expect("pipeline just established");
+    // `establish` just succeeded, so the pipeline can only be absent if
+    // shutdown tore it down concurrently — degrade, don't panic.
+    let Some((_, senders)) = shared.senders() else {
+        return Ok(());
+    };
 
     let mut accepted = 0u64;
     // One reusable frame buffer per connection: after it has grown to
@@ -497,10 +503,14 @@ fn handle_ingest(
                     }
                 };
                 let slot = shared.next_worker.fetch_add(1, Ordering::Relaxed) % senders.len();
-                if senders[slot].send(WorkerMsg::Report(report)).is_err() {
-                    return Ok(()); // workers torn down: shutting down
+                // The modulo keeps `slot` in range (shards ≥ 1); `get`
+                // keeps the dispatch index-panic-free regardless.
+                match senders.get(slot) {
+                    Some(sender) if sender.send(WorkerMsg::Report(report)).is_ok() => {
+                        accepted += 1;
+                    }
+                    _ => return Ok(()), // workers torn down: shutting down
                 }
-                accepted += 1;
             }
             Ok(false) => {
                 // Clean end-of-stream: flush every worker so the ack

@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn normalized_is_involution() {
-        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x: Vec<f64> = (0..32).map(|i| (f64::from(i) * 0.7).cos()).collect();
         let mut y = x.clone();
         fwht_normalized(&mut y);
         fwht_normalized(&mut y);
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let x: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let x: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + f64::from(i))).collect();
         let mut y = x.clone();
         fwht(&mut y);
         fwht_inverse(&mut y);

@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn example_3_1() {
         let d = 4u32;
-        let t: Vec<f64> = (0..16).map(|i| (i + 1) as f64).collect();
+        let t: Vec<f64> = (0..16).map(|i| f64::from(i + 1)).collect();
         let beta = Mask::new(0b0101);
         let m = marginalize(&t, d, beta);
         // C[0000] = t[0000]+t[0010]+t[1000]+t[1010]

@@ -1,0 +1,170 @@
+//! The committed suppression file, `crates/xtask/lint_allowlist.txt`.
+//!
+//! Entry shape (one per line, `#` comments explain the *why*):
+//!
+//! ```text
+//! <repo-relative path> :: <kind> :: <trimmed source line>
+//! ```
+//!
+//! Entries match by **content**, not line number: a suppressed site
+//! keeps its entry through unrelated edits above it, and an entry
+//! whose exact trimmed line text vanishes (the site was fixed or
+//! rewritten) becomes *stale* — which is itself a lint failure, so
+//! the allowlist can only shrink in step with reality. Spec-drift and
+//! IO findings are never suppressible.
+
+use crate::{Diagnostic, Kind};
+use std::fs;
+use std::path::Path;
+
+/// Where the allowlist lives, repo-relative.
+pub const ALLOWLIST: &str = "crates/xtask/lint_allowlist.txt";
+
+/// One parsed entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Repo-relative path the suppression applies to.
+    pub file: String,
+    /// The lint kind being suppressed.
+    pub kind: Kind,
+    /// The trimmed source-line text to match.
+    pub text: String,
+    /// The entry's own line in the allowlist (for stale reports).
+    pub line: usize,
+}
+
+fn parse_kind(name: &str) -> Option<Kind> {
+    match name {
+        "panic" => Some(Kind::Panic),
+        "index" => Some(Kind::Index),
+        "cast" => Some(Kind::Cast),
+        _ => None,
+    }
+}
+
+/// Load and parse the allowlist; a missing file is an empty list (the
+/// clean-fixture case), a malformed line is a diagnostic.
+pub fn load(root: &Path, out: &mut Vec<Diagnostic>) -> Vec<Entry> {
+    let Ok(content) = fs::read_to_string(root.join(ALLOWLIST)) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.splitn(3, " :: ").collect();
+        let [file, kind_name, text] = parts[..] else {
+            out.push(Diagnostic {
+                file: ALLOWLIST.to_string(),
+                line: lineno,
+                kind: Kind::StaleAllow,
+                message: "malformed entry: expected `<path> :: <kind> :: <line text>`".to_string(),
+                text: trimmed.to_string(),
+            });
+            continue;
+        };
+        let Some(kind) = parse_kind(kind_name) else {
+            out.push(Diagnostic {
+                file: ALLOWLIST.to_string(),
+                line: lineno,
+                kind: Kind::StaleAllow,
+                message: format!(
+                    "unknown kind `{kind_name}`: only panic/index/cast findings are suppressible"
+                ),
+                text: trimmed.to_string(),
+            });
+            continue;
+        };
+        entries.push(Entry {
+            file: file.to_string(),
+            kind,
+            text: text.to_string(),
+            line: lineno,
+        });
+    }
+    entries
+}
+
+/// Filter `violations` through the allowlist: matched findings are
+/// suppressed, unmatched ones pass through to `out`, and entries that
+/// matched nothing are reported stale.
+pub fn apply(entries: &[Entry], violations: Vec<Diagnostic>, out: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; entries.len()];
+    for v in violations {
+        let hit = entries
+            .iter()
+            .position(|e| e.file == v.file && e.kind == v.kind && e.text == v.text.trim());
+        match hit {
+            Some(i) => used[i] = true,
+            None => out.push(v),
+        }
+    }
+    for (entry, used) in entries.iter().zip(used) {
+        if !used {
+            out.push(Diagnostic {
+                file: ALLOWLIST.to_string(),
+                line: entry.line,
+                kind: Kind::StaleAllow,
+                message: format!(
+                    "entry matches no current {} finding in {}; the site was fixed or rewritten — delete the entry",
+                    entry.kind.name(),
+                    entry.file
+                ),
+                text: entry.text.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(file: &str, kind: Kind, text: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line: 7,
+            kind,
+            message: "m".to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn suppresses_matched_and_reports_stale() {
+        let entries = vec![
+            Entry {
+                file: "a.rs".to_string(),
+                kind: Kind::Panic,
+                text: "x.unwrap();".to_string(),
+                line: 3,
+            },
+            Entry {
+                file: "b.rs".to_string(),
+                kind: Kind::Cast,
+                text: "len as u32".to_string(),
+                line: 5,
+            },
+        ];
+        let mut out = Vec::new();
+        apply(
+            &entries,
+            vec![violation("a.rs", Kind::Panic, "x.unwrap();")],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, Kind::StaleAllow);
+        assert_eq!(out[0].line, 5);
+    }
+
+    #[test]
+    fn unmatched_violations_pass_through() {
+        let mut out = Vec::new();
+        apply(&[], vec![violation("a.rs", Kind::Index, "b[0]")], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, Kind::Index);
+    }
+}

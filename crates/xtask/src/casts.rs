@@ -1,0 +1,105 @@
+//! The lossy-cast audit: flag `as u16` / `as u32` / `as usize`
+//! narrowing on wire-length and report-index expressions. This is the
+//! exact bug class behind the u64 range-compare fix in the batched
+//! ingest work: a length or index born as `u64` on the wire, narrowed
+//! before it was range-checked, truncates silently on 32-bit targets
+//! and turns a corrupt prefix into a wrong-but-plausible value.
+//!
+//! The heuristic is deliberately name-based: a narrowing cast is only
+//! suspect when the line smells like a length/index computation (the
+//! `MARKERS` substrings below). Sites that narrow *after* a range
+//! check stay, with an
+//! explanatory entry in the allowlist.
+
+use crate::{Diagnostic, Kind};
+
+/// Narrowing target types (widening casts are harmless here; `u8`
+/// narrowing of lengths does not occur on the wire, which length-
+/// prefixes with `u32`/`u64` only).
+const NARROW: [&str; 3] = ["u16", "u32", "usize"];
+
+/// Substrings that mark a line as length/index-flavoured.
+const MARKERS: [&str; 7] = ["len", "idx", "index", "count", "marginal", "pos", "prefix"];
+
+/// Scan one masked file; append a diagnostic per suspect cast.
+pub fn scan(rel: &str, src: &str, masked: &str, out: &mut Vec<Diagnostic>) {
+    let src_lines: Vec<&str> = src.lines().collect();
+    for (idx, line) in masked.lines().enumerate() {
+        let lower = line.to_lowercase();
+        if !MARKERS.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        for ty in NARROW {
+            for pos in find_casts(line, ty) {
+                out.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    kind: Kind::Cast,
+                    message: format!(
+                        "narrowing `as {ty}` on a length/index expression (column {}); \
+                         range-check in u64 space first (see wire.rs checked_len), \
+                         or allowlist with the guarding check named",
+                        pos + 1
+                    ),
+                    text: src_lines.get(idx).map_or("", |l| l.trim()).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Byte offsets of every ` as <ty>` occurrence with a word boundary
+/// after the type (so `as u16` does not match inside `as u16x8`).
+fn find_casts(line: &str, ty: &str) -> Vec<usize> {
+    let needle = format!(" as {ty}");
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(at) = line[from..].find(&needle) {
+        let pos = from + at;
+        let after = pos + needle.len();
+        let bounded = line[after..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if bounded {
+            found.push(pos);
+        }
+        from = after;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let masked = source::mask_cfg_test(&source::mask(src));
+        scan("f.rs", src, &masked, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_narrowing_on_length_lines() {
+        let d = run("let n = payload.len() as u32;");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, Kind::Cast);
+        assert_eq!(run("let i = marginal as usize;").len(), 1);
+    }
+
+    #[test]
+    fn ignores_widening_and_unmarked_lines() {
+        assert!(run("let n = x.len() as u64;").is_empty());
+        assert!(run("let v = value as u32;").is_empty());
+        assert!(run("let f = total_len as f64;").is_empty());
+    }
+
+    #[test]
+    fn ignores_comments_and_tests() {
+        assert!(run("// let n = len as u32;").is_empty());
+        let src = "#[cfg(test)]\nmod tests { fn t() { let n = len as u32; } }\n";
+        assert!(run(src).is_empty());
+    }
+}

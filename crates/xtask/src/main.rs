@@ -1,0 +1,61 @@
+//! The `ldp-lint` binary: `cargo run -p xtask -- lint` from anywhere
+//! in the workspace. Exit status 0 on a clean tree, 1 with one
+//! `file:line: [kind] message` block per finding otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask → the workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = workspace_root();
+    let mut command = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "lint" => command = Some("lint"),
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ldp-lint lint [--root <repo>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if command != Some("lint") {
+        eprintln!("usage: ldp-lint lint [--root <repo>]");
+        return ExitCode::FAILURE;
+    }
+
+    let diags = xtask::run_lint(&root);
+    if diags.is_empty() {
+        eprintln!("ldp-lint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!(
+        "ldp-lint: {} finding{} (see docs/WIRE_FORMAT.md §10 and crates/xtask/lint_allowlist.txt)",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,177 @@
+//! The panic-path lint: deny constructs that can abort a collector
+//! worker on corrupt input — `unwrap`/`expect`, the panicking macros,
+//! and direct slice indexing — in non-test hot-path source. This locks
+//! in the "corrupt input degrades, never panics" invariant the serve
+//! path established: decoders return `WireError`/`FrameError`,
+//! handlers degrade, and nothing between a socket and an accumulator
+//! is allowed to assert its way out of a bad byte.
+
+use crate::{Diagnostic, Kind};
+
+/// Keywords that may legally precede `[` without it being an index
+/// expression (array literals, slice patterns, type positions).
+const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "mut", "in", "as", "dyn", "ref", "return", "break", "let", "else", "match", "move", "if",
+    "while", "for", "loop", "impl", "where", "box",
+];
+
+/// Method calls that panic on `None`/`Err`.
+const PANIC_CALLS: [&str; 2] = [".unwrap()", ".expect("];
+
+/// Macros that panic unconditionally when reached.
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Scan one file (already masked by [`crate::source`]) and append a
+/// diagnostic per violation. `src` is the original text, used only to
+/// quote the offending line.
+pub fn scan(rel: &str, src: &str, masked: &str, out: &mut Vec<Diagnostic>) {
+    let src_lines: Vec<&str> = src.lines().collect();
+    for (idx, line) in masked.lines().enumerate() {
+        let lineno = idx + 1;
+        let text = src_lines.get(idx).map_or("", |l| l.trim()).to_string();
+        let push = |out: &mut Vec<Diagnostic>, kind: Kind, message: String, text: &str| {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: lineno,
+                kind,
+                message,
+                text: text.to_string(),
+            });
+        };
+
+        for call in PANIC_CALLS {
+            if line.contains(call) {
+                push(
+                    out,
+                    Kind::Panic,
+                    format!(
+                        "`{}` on the hot path; return a WireError/FrameError or degrade instead",
+                        call.trim_matches(|c| c == '.' || c == '(' || c == ')')
+                    ),
+                    &text,
+                );
+            }
+        }
+        for mac in PANIC_MACROS {
+            if let Some(pos) = line.find(mac) {
+                let boundary = pos == 0
+                    || !line[..pos]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if boundary {
+                    push(
+                        out,
+                        Kind::Panic,
+                        format!("`{mac}` on the hot path; corrupt input must degrade, not abort"),
+                        &text,
+                    );
+                }
+            }
+        }
+        scan_indexing(line, &text, lineno, rel, out);
+    }
+}
+
+/// Flag `expr[...]` index/slice expressions: a `[` whose previous
+/// non-space character ends an expression (identifier, `)`, or `]`),
+/// excluding keywords, lifetimes, and attribute/macro brackets.
+fn scan_indexing(line: &str, text: &str, lineno: usize, rel: &str, out: &mut Vec<Diagnostic>) {
+    let chars: Vec<char> = line.chars().collect();
+    for (j, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Walk back over spaces to the previous significant char.
+        let mut p = j;
+        while p > 0 && chars[p - 1] == ' ' {
+            p -= 1;
+        }
+        if p == 0 {
+            continue;
+        }
+        let prev = chars[p - 1];
+        if prev == ')' || prev == ']' {
+            out.push(index_diag(rel, lineno, text));
+            continue;
+        }
+        if !(prev.is_alphanumeric() || prev == '_') {
+            continue; // `#[`, `![`, `= [`, `&[`, `(["`, ...
+        }
+        // Extract the identifier token and its preceding char.
+        let mut s = p;
+        while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+            s -= 1;
+        }
+        let token: String = chars[s..p].iter().collect();
+        if NON_INDEX_KEYWORDS.contains(&token.as_str()) {
+            continue;
+        }
+        if s > 0 && chars[s - 1] == '\'' {
+            continue; // `&'a [u8]` — a lifetime, not an expression
+        }
+        out.push(index_diag(rel, lineno, text));
+    }
+}
+
+fn index_diag(rel: &str, lineno: usize, text: &str) -> Diagnostic {
+    Diagnostic {
+        file: rel.to_string(),
+        line: lineno,
+        kind: Kind::Index,
+        message: "direct slice indexing on the hot path; use .get()/.get_mut() and degrade on None"
+            .to_string(),
+        text: text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let masked = source::mask_cfg_test(&source::mask(src));
+        scan("f.rs", src, &masked, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let d = run("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); unreachable!(); }");
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|d| d.kind == Kind::Panic && d.line == 1));
+    }
+
+    #[test]
+    fn ignores_unwrap_or_variants() {
+        assert!(run("fn f() { x.unwrap_or(0); y.unwrap_or_else(p); }").is_empty());
+    }
+
+    #[test]
+    fn flags_indexing_but_not_types_or_literals() {
+        let d = run("fn f(b: &[u8], v: [u8; 4]) { let x = b[0]; let y = [1, 2]; }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, Kind::Index);
+        let d = run("fn g() { h()[0]; }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ignores_attributes_macros_and_lifetimes() {
+        assert!(run("#[derive(Debug)]\nfn f<'a>(s: &'a [u8]) { vec![1]; }").is_empty());
+    }
+
+    #[test]
+    fn ignores_test_modules_and_comments() {
+        let src = "// x.unwrap()\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); a[0]; }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn flags_range_slicing() {
+        let d = run("fn f(b: &[u8]) { let _ = &b[..4]; }");
+        assert_eq!(d.len(), 1);
+    }
+}

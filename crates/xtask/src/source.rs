@@ -1,0 +1,246 @@
+//! Source masking: blank out the character ranges that must not
+//! trigger lexical lints — comments, string/char literals, and
+//! `#[cfg(test)]` blocks — while preserving every line boundary, so
+//! downstream scanners report exact line numbers against the original
+//! file.
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn blank(c: char) -> char {
+    if c == '\n' {
+        '\n'
+    } else {
+        ' '
+    }
+}
+
+/// Replace the contents of comments and string/char literals with
+/// spaces. Delimiters (`"`, `'`, the comment markers themselves) are
+/// also blanked except for string quotes, which are kept so quoted
+/// regions stay visibly delimited in debug output. Line structure is
+/// preserved exactly.
+#[must_use]
+pub fn mask(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment: blank to end of line.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested): blank to the matching close.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            out.push_str("  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"..." or r#"..."# (any hash count). The `r`
+        // must not be the tail of an identifier.
+        if c == 'r'
+            && matches!(b.get(i + 1), Some(&'"') | Some(&'#'))
+            && (i == 0 || !is_ident(b[i - 1]))
+        {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                out.push('r');
+                out.push_str(&"#".repeat(hashes));
+                out.push('"');
+                i = j + 1;
+                while i < b.len() {
+                    if b[i] == '"' && (1..=hashes).all(|h| b.get(i + h) == Some(&'#')) {
+                        out.push('"');
+                        out.push_str(&"#".repeat(hashes));
+                        i += 1 + hashes;
+                        break;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (or byte) string literal.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    if i + 1 < b.len() {
+                        out.push(blank(b[i + 1]));
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a in a
+        // generic position is a lifetime and passes through.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                out.push('\'');
+                out.push_str("  ");
+                i += 3; // quote, backslash, escaped char
+                while i < b.len() && b[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') && b.get(i + 1).is_some_and(|&n| n != '\'') {
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Blank every `#[cfg(test)]` item whose body is a brace block (in
+/// practice: `mod tests { ... }`). Expects already-[`mask`]ed input so
+/// braces inside strings/comments cannot unbalance the count. An item
+/// that ends in `;` before any `{` (e.g. a cfg'd `use`) is left alone.
+#[must_use]
+pub fn mask_cfg_test(masked: &str) -> String {
+    const ATTR: &str = "#[cfg(test)]";
+    let b: Vec<char> = masked.chars().collect();
+    let attr: Vec<char> = ATTR.chars().collect();
+    let mut out = b.clone();
+    let mut i = 0;
+    while i + attr.len() <= b.len() {
+        if b[i..i + attr.len()] != attr[..] {
+            i += 1;
+            continue;
+        }
+        // Find the block start, bailing on a `;` item.
+        let mut j = i + attr.len();
+        while j < b.len() && b[j] != '{' && b[j] != ';' {
+            j += 1;
+        }
+        if j >= b.len() || b[j] == ';' {
+            i = j + 1;
+            continue;
+        }
+        // Brace-count to the matching close.
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < b.len() {
+            match b[k] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = (k + 1).min(b.len());
+        for cell in &mut out[i..end] {
+            if *cell != '\n' {
+                *cell = ' ';
+            }
+        }
+        i = end;
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"a[0].unwrap()\"; // b[1]\nlet y = 2; /* c.unwrap() */\n";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("b[1]"));
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(m.contains("let x"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_char_literals_but_not_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) -> char { '[' }";
+        let m = mask(src);
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains('['));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = "let p = r#\"x.unwrap()\"#; let q = 1;";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let q = 1;"));
+    }
+
+    #[test]
+    fn masks_cfg_test_modules_only() {
+        let src = "fn hot() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn cold() {}\n";
+        let m = mask_cfg_test(&mask(src));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("fn hot"));
+        assert!(m.contains("fn cold"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn leaves_cfg_test_use_items_alone() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n";
+        let m = mask_cfg_test(&mask(src));
+        assert!(m.contains("fn live"));
+    }
+}

@@ -1,0 +1,480 @@
+//! Spec↔code drift detection: `docs/WIRE_FORMAT.md` carries marked,
+//! machine-parseable regions (tag registry, wire version, and the
+//! `StreamHeader` byte layout), and this module cross-checks them
+//! against the normative code in `crates/core/src/wire.rs` and
+//! `frame.rs`. A tag added/removed/renumbered on one side, a version
+//! bump that misses the doc, or a header field reordered in
+//! `to_bytes` without the spec (or `from_bytes`) following along all
+//! fail with a diagnostic naming the lagging side.
+
+use crate::{Diagnostic, Kind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+const DOC: &str = "docs/WIRE_FORMAT.md";
+const WIRE: &str = "crates/core/src/wire.rs";
+const FRAME: &str = "crates/core/src/frame.rs";
+
+const TAG_BEGIN: &str = "<!-- ldp-lint:tag-registry:begin -->";
+const TAG_END: &str = "<!-- ldp-lint:tag-registry:end -->";
+const VERSION_MARK: &str = "<!-- ldp-lint:wire-version=";
+const HDR_BEGIN: &str = "<!-- ldp-lint:stream-header:begin";
+const HDR_END: &str = "<!-- ldp-lint:stream-header:end -->";
+
+fn diag(file: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        kind: Kind::SpecDrift,
+        message,
+        text: String::new(),
+    }
+}
+
+fn read(root: &Path, rel: &str, out: &mut Vec<Diagnostic>) -> Option<String> {
+    match fs::read_to_string(root.join(rel)) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: 1,
+                kind: Kind::Io,
+                message: format!("drift check cannot read {rel}: {e}"),
+                text: String::new(),
+            });
+            None
+        }
+    }
+}
+
+/// A named byte field: name, size in bytes, declaration line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Field {
+    name: String,
+    size: usize,
+    line: usize,
+}
+
+fn type_size(ty: &str) -> Option<usize> {
+    match ty {
+        "u8" => Some(1),
+        "u16" => Some(2),
+        "u32" => Some(4),
+        "u64" | "i64" | "f64" => Some(8),
+        _ => None,
+    }
+}
+
+/// Run every drift check, appending diagnostics.
+pub fn check(root: &Path, out: &mut Vec<Diagnostic>) {
+    let Some(doc) = read(root, DOC, out) else {
+        return;
+    };
+    let Some(wire) = read(root, WIRE, out) else {
+        return;
+    };
+    let Some(frame) = read(root, FRAME, out) else {
+        return;
+    };
+    check_tags(&doc, &wire, out);
+    check_version(&doc, &wire, out);
+    check_header(&doc, &frame, out);
+}
+
+/// Extract `| 0xNN | `CONST` | … |` rows between the registry markers.
+fn doc_tags(doc: &str, out: &mut Vec<Diagnostic>) -> Option<BTreeMap<String, (u8, usize)>> {
+    let mut tags = BTreeMap::new();
+    let mut inside = false;
+    let mut saw_begin = false;
+    for (idx, line) in doc.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains(TAG_BEGIN) {
+            inside = true;
+            saw_begin = true;
+            continue;
+        }
+        if line.contains(TAG_END) {
+            inside = false;
+            continue;
+        }
+        if !inside || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // cells[0] and the last are the empty outside of the pipes.
+        if cells.len() < 4 {
+            continue;
+        }
+        let tag_cell = cells[1].trim_matches('`');
+        let name_cell = cells[2].trim_matches('`');
+        let Some(hex) = tag_cell.strip_prefix("0x") else {
+            continue; // the `| Tag |` header and `|---|` separator rows
+        };
+        match u8::from_str_radix(hex, 16) {
+            Ok(value) => {
+                if tags
+                    .insert(name_cell.to_string(), (value, lineno))
+                    .is_some()
+                {
+                    out.push(diag(
+                        DOC,
+                        lineno,
+                        format!("tag registry lists `{name_cell}` twice"),
+                    ));
+                }
+            }
+            Err(_) => out.push(diag(
+                DOC,
+                lineno,
+                format!("unparseable tag value `{tag_cell}` in the registry row"),
+            )),
+        }
+    }
+    if !saw_begin {
+        out.push(diag(
+            DOC,
+            1,
+            format!(
+                "missing `{TAG_BEGIN}` marker: the tag registry is no longer machine-checkable"
+            ),
+        ));
+        return None;
+    }
+    Some(tags)
+}
+
+/// Extract `pub const NAME: u8 = 0xNN;` declarations (the tag module).
+fn code_tags(wire: &str) -> BTreeMap<String, (u8, usize)> {
+    let mut tags = BTreeMap::new();
+    for (idx, line) in wire.lines().enumerate() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, rhs)) = rest.split_once(": u8 = ") else {
+            continue;
+        };
+        let Some(hex) = rhs.trim().trim_end_matches(';').strip_prefix("0x") else {
+            continue; // decimal u8 consts (VERSION) are not tags
+        };
+        if let Ok(value) = u8::from_str_radix(hex, 16) {
+            tags.insert(name.trim().to_string(), (value, idx + 1));
+        }
+    }
+    tags
+}
+
+fn check_tags(doc: &str, wire: &str, out: &mut Vec<Diagnostic>) {
+    let Some(doc_tags) = doc_tags(doc, out) else {
+        return;
+    };
+    let code_tags = code_tags(wire);
+    if code_tags.is_empty() {
+        out.push(diag(
+            WIRE,
+            1,
+            "found no `pub const NAME: u8 = 0xNN;` tag declarations".to_string(),
+        ));
+        return;
+    }
+    for (name, (value, line)) in &doc_tags {
+        match code_tags.get(name) {
+            None => out.push(diag(
+                DOC,
+                *line,
+                format!("registry row `{name}` (0x{value:02X}) has no matching const in {WIRE}"),
+            )),
+            Some((code_value, code_line)) if code_value != value => out.push(diag(
+                DOC,
+                *line,
+                format!(
+                    "registry says `{name}` = 0x{value:02X} but {WIRE}:{code_line} says 0x{code_value:02X}"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, (value, line)) in &code_tags {
+        if !doc_tags.contains_key(name) {
+            out.push(diag(
+                WIRE,
+                *line,
+                format!(
+                    "tag const `{name}` (0x{value:02X}) is missing from the {DOC} registry table"
+                ),
+            ));
+        }
+    }
+}
+
+fn check_version(doc: &str, wire: &str, out: &mut Vec<Diagnostic>) {
+    let doc_version = doc.lines().enumerate().find_map(|(idx, line)| {
+        let at = line.find(VERSION_MARK)?;
+        let rest = &line[at + VERSION_MARK.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse::<u8>().ok().map(|v| (v, idx + 1))
+    });
+    let code_version = wire.lines().enumerate().find_map(|(idx, line)| {
+        let rest = line.trim().strip_prefix("pub const VERSION: u8 = ")?;
+        rest.trim_end_matches(';')
+            .parse::<u8>()
+            .ok()
+            .map(|v| (v, idx + 1))
+    });
+    match (doc_version, code_version) {
+        (Some((dv, dl)), Some((cv, cl))) if dv != cv => out.push(diag(
+            DOC,
+            dl,
+            format!("spec says wire version {dv} but {WIRE}:{cl} says {cv}"),
+        )),
+        (None, _) => out.push(diag(
+            DOC,
+            1,
+            format!("missing `{VERSION_MARK}N -->` marker"),
+        )),
+        (_, None) => out.push(diag(
+            WIRE,
+            1,
+            "found no `pub const VERSION: u8 = N;` declaration".to_string(),
+        )),
+        _ => {}
+    }
+}
+
+/// (prelude-checked fields after tag+version with their claimed
+/// offsets, declared total byte count, begin-marker line).
+type HeaderLayout = (Vec<(usize, Field)>, usize, usize);
+
+/// Parse the `offset size field` rows of the marked header layout.
+fn doc_header(doc: &str, out: &mut Vec<Diagnostic>) -> Option<HeaderLayout> {
+    let mut fields = Vec::new();
+    let mut inside = false;
+    let mut total = None;
+    let mut begin_line = 0;
+    for (idx, line) in doc.lines().enumerate() {
+        let lineno = idx + 1;
+        if let Some(at) = line.find(HDR_BEGIN) {
+            inside = true;
+            begin_line = lineno;
+            let rest = &line[at + HDR_BEGIN.len()..];
+            total = rest.split("total=").nth(1).and_then(|t| {
+                t.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<usize>()
+                    .ok()
+            });
+            continue;
+        }
+        if line.contains(HDR_END) {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(off), Some(size), Some(name)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(off), Ok(size)) = (off.parse::<usize>(), size.parse::<usize>()) else {
+            continue; // the `offset size field` caption and fences
+        };
+        fields.push((
+            off,
+            Field {
+                name: name.to_string(),
+                size,
+                line: lineno,
+            },
+        ));
+    }
+    if begin_line == 0 {
+        out.push(diag(
+            DOC,
+            1,
+            format!("missing `{HDR_BEGIN} total=N -->` marker for the StreamHeader layout"),
+        ));
+        return None;
+    }
+    let Some(total) = total else {
+        out.push(diag(
+            DOC,
+            begin_line,
+            "stream-header begin marker lacks its `total=N` byte count".to_string(),
+        ));
+        return None;
+    };
+    // The first two rows must be the tag/version prelude.
+    let prelude_ok = fields.len() >= 2
+        && fields[0].0 == 0
+        && fields[0].1.size == 1
+        && fields[0].1.name == "tag"
+        && fields[1].0 == 1
+        && fields[1].1.size == 1
+        && fields[1].1.name == "version";
+    if !prelude_ok {
+        out.push(diag(
+            DOC,
+            begin_line,
+            "stream-header layout must open with the `tag` and `version` one-byte rows".to_string(),
+        ));
+        return None;
+    }
+    Some((fields.split_off(2), total, begin_line))
+}
+
+/// Collect `w.put_TY(self.FIELD);` calls inside `fn to_bytes`.
+fn code_put_fields(frame: &str) -> Vec<Field> {
+    fields_in_fn(frame, "fn to_bytes", |t, lineno| {
+        let at = t.find(".put_")?;
+        let rest = &t[at + ".put_".len()..];
+        let (ty, args) = rest.split_once('(')?;
+        let name = args.strip_prefix("self.")?.split(')').next()?;
+        Some(Field {
+            name: name.trim().to_string(),
+            size: type_size(ty)?,
+            line: lineno,
+        })
+    })
+}
+
+/// Collect `let FIELD = r.get_TY()?;` bindings inside `fn from_bytes`.
+fn code_get_fields(frame: &str) -> Vec<Field> {
+    fields_in_fn(frame, "fn from_bytes", |t, lineno| {
+        let rest = t.strip_prefix("let ")?;
+        let (name, rhs) = rest.split_once('=')?;
+        let at = rhs.find(".get_")?;
+        let ty = rhs[at + ".get_".len()..].split('(').next()?;
+        Some(Field {
+            name: name.trim().to_string(),
+            size: type_size(ty)?,
+            line: lineno,
+        })
+    })
+}
+
+/// Apply `parse` to each line of the first `marker` function's body
+/// (brace-counted from the signature line).
+fn fields_in_fn(
+    frame: &str,
+    marker: &str,
+    parse: impl Fn(&str, usize) -> Option<Field>,
+) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut inside = false;
+    let mut done = false;
+    for (idx, line) in frame.lines().enumerate() {
+        if done {
+            break;
+        }
+        if !inside && line.contains(marker) {
+            inside = true;
+        }
+        if !inside {
+            continue;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        done = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(field) = parse(line.trim(), idx + 1) {
+            fields.push(field);
+        }
+    }
+    fields
+}
+
+fn check_header(doc: &str, frame: &str, out: &mut Vec<Diagnostic>) {
+    let Some((doc_fields, total, begin_line)) = doc_header(doc, out) else {
+        return;
+    };
+    let puts = code_put_fields(frame);
+    let gets = code_get_fields(frame);
+    if puts.is_empty() {
+        out.push(diag(
+            FRAME,
+            1,
+            "found no `w.put_*(self.FIELD)` calls in `fn to_bytes`".to_string(),
+        ));
+        return;
+    }
+    // Encoder/decoder symmetry: same fields, same order, same widths.
+    if gets.len() != puts.len() {
+        out.push(diag(
+            FRAME,
+            gets.first().map_or(1, |f| f.line),
+            format!(
+                "StreamHeader::from_bytes reads {} fields but to_bytes writes {}",
+                gets.len(),
+                puts.len()
+            ),
+        ));
+    }
+    for (put, get) in puts.iter().zip(&gets) {
+        if put.name != get.name || put.size != get.size {
+            out.push(diag(
+                FRAME,
+                get.line,
+                format!(
+                    "decoder reads `{}` ({} bytes) where the encoder writes `{}` ({} bytes)",
+                    get.name, get.size, put.name, put.size
+                ),
+            ));
+        }
+    }
+    // Spec rows vs encoder sequence, with accumulated offsets.
+    if doc_fields.len() != puts.len() {
+        out.push(diag(
+            DOC,
+            begin_line,
+            format!(
+                "spec layout lists {} payload fields but StreamHeader::to_bytes writes {}",
+                doc_fields.len(),
+                puts.len()
+            ),
+        ));
+        return;
+    }
+    let mut offset = 2; // tag + version prelude
+    for ((doc_off, doc_field), put) in doc_fields.iter().zip(&puts) {
+        if doc_field.name != put.name || doc_field.size != put.size {
+            out.push(diag(
+                DOC,
+                doc_field.line,
+                format!(
+                    "spec row `{}` ({} bytes) vs code field `{}` ({} bytes) at {FRAME}:{}",
+                    doc_field.name, doc_field.size, put.name, put.size, put.line
+                ),
+            ));
+        }
+        if *doc_off != offset {
+            out.push(diag(
+                DOC,
+                doc_field.line,
+                format!(
+                    "spec row `{}` claims offset {doc_off} but the preceding fields end at {offset}",
+                    doc_field.name
+                ),
+            ));
+        }
+        offset += put.size;
+    }
+    if total != offset {
+        out.push(diag(
+            DOC,
+            begin_line,
+            format!("marker says total={total} bytes but the fields sum to {offset}"),
+        ));
+    }
+}

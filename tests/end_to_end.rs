@@ -41,7 +41,7 @@ fn all_seven_mechanisms_reconstruct_2way_marginals() {
                 total += total_variation_distance(&truth, &uni);
                 count += 1;
             }
-            total / count as f64
+            total / f64::from(count)
         };
         assert!(
             tvd < uniform_tvd,

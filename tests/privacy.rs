@@ -114,7 +114,7 @@ fn empirical_report_frequencies_respect_ldp_ratio() {
             let r = mech.encode(row, &mut rng);
             *m.entry((r.coefficient, r.sign_positive)).or_default() += 1.0;
         }
-        m.values_mut().for_each(|v| *v /= trials as f64);
+        m.values_mut().for_each(|v| *v /= f64::from(trials));
         m
     };
     let pa = count(0b0011);

@@ -416,7 +416,7 @@ fn malformed_and_mismatched_headers_are_rejected() {
     writer.flush().unwrap();
     match read_response(&stream) {
         Response::Error(message) => {
-            assert!(message.contains("bad header frame"), "{message}")
+            assert!(message.contains("bad header frame"), "{message}");
         }
         other => panic!("truncated header got {other:?}"),
     }
