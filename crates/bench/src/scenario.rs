@@ -53,11 +53,13 @@ pub struct ScenarioPoint {
     pub eps: f64,
     /// Measurement mode (in-process batch vs live TCP serving).
     pub mode: PointMode,
-    /// Ingest batch size for [`PointMode::Batch`] points: `0` absorbs
-    /// the whole report buffer in one `absorb_batch` call; a positive
+    /// Batch size. For [`PointMode::Batch`] points: `0` absorbs the
+    /// whole report buffer in one `absorb_batch` call; a positive
     /// value absorbs it in chunks of this many reports — the batch-size
     /// sweep that shows where the kernels' per-batch setup amortizes.
-    /// Ignored (and always `0`) for serve points.
+    /// For [`PointMode::Serve`] points: reports per `REPORT_BATCH`
+    /// frame the clients push (wire v2); `0` pushes one frame per
+    /// report (the wire-v1 shape).
     pub batch: usize,
 }
 
@@ -109,14 +111,14 @@ impl Scenario {
             mode: PointMode::Batch,
             batch,
         };
-        let serve = |mechanism: MechanismKind, n: usize| ScenarioPoint {
+        let serve = |mechanism: MechanismKind, n: usize, batch: usize| ScenarioPoint {
             mechanism,
             d: 8,
             k: 2,
             n,
             eps: 1.1,
             mode: PointMode::Serve,
-            batch: 0,
+            batch,
         };
         match name {
             // Seconds, not minutes: the CI bench-smoke job runs this on
@@ -134,7 +136,15 @@ impl Scenario {
                         points.push(swept(MechanismKind::InpEm, 20_000, batch));
                         points.push(swept(MechanismKind::MargPs, 20_000, batch));
                     }
-                    points.push(serve(MechanismKind::MargPs, 20_000));
+                    // Serve points push REPORT_BATCH frames (wire v2);
+                    // the pair sweeps the client batch size around the
+                    // worker drain bound. n is 10× the batch points':
+                    // a serve iteration pays fixed connection-setup
+                    // costs (TCP handshake, accept latency, thread
+                    // spawns), and at 20k reports those costs — not
+                    // the serving path — would be the measurement.
+                    points.push(serve(MechanismKind::MargPs, 200_000, 1_024));
+                    points.push(serve(MechanismKind::MargPs, 200_000, 256));
                     points
                 },
                 merge_shards: 8,
@@ -150,8 +160,12 @@ impl Scenario {
                         points.push(swept(MechanismKind::MargPs, 100_000, batch));
                         points.push(swept(MechanismKind::InpRr, 100_000, batch));
                     }
-                    points.push(serve(MechanismKind::MargPs, 100_000));
-                    points.push(serve(MechanismKind::InpHt, 100_000));
+                    // Both frame shapes at population scale: the
+                    // legacy one-frame-per-report serve path and the
+                    // batched wire-v2 path.
+                    points.push(serve(MechanismKind::MargPs, 100_000, 0));
+                    points.push(serve(MechanismKind::InpHt, 100_000, 0));
+                    points.push(serve(MechanismKind::MargPs, 100_000, 1_024));
                     points
                 },
                 merge_shards: 8,
@@ -314,9 +328,11 @@ pub const SERVE_CLIENTS: usize = 4;
 pub const SERVE_SHARDS: usize = 4;
 
 /// Measure one [`PointMode::Serve`] grid point: spin up a real
-/// `ldp_server::Server` on a loopback port, push pre-encoded report
-/// frames from [`SERVE_CLIENTS`] concurrent TCP connections (each
-/// waiting for the server's absorbed acknowledgement), and read rates
+/// `ldp_server::Server` on a loopback port, push pre-encoded reports
+/// from [`SERVE_CLIENTS`] concurrent TCP connections — grouped into
+/// `REPORT_BATCH` frames of `point.batch` reports when it is positive,
+/// one frame per report when `0` — (each client waiting for the
+/// server's absorbed acknowledgement), and read rates
 /// off the wall clock. `reports_per_sec` is therefore the full serving
 /// path — framing, TCP, connection handling, worker dispatch, absorb —
 /// and `merges_per_sec` counts live snapshot requests per second (each
@@ -365,7 +381,7 @@ fn run_serve_point(point: &ScenarioPoint, reps: usize, seed: u64) -> PointResult
                 for slice in &slices {
                     let addr = addr.as_str();
                     scope.spawn(move || {
-                        ldp_server::push_reports(addr, &header, slice)
+                        ldp_server::push_report_batches(addr, &header, slice, point.batch)
                             .expect("push reports to the bench server");
                     });
                 }
@@ -828,19 +844,19 @@ mod tests {
             assert!(!s.points.is_empty());
         }
         assert!(Scenario::by_name("nope").is_none());
-        // The smoke grid covers every mechanism, plus one serve point.
+        // The smoke grid covers every mechanism, plus a batch-size
+        // pair of serve points.
         let smoke = Scenario::by_name("smoke").unwrap();
         for kind in MechanismKind::ALL {
             assert!(smoke.points.iter().any(|p| p.mechanism == kind));
         }
-        assert_eq!(
-            smoke
-                .points
-                .iter()
-                .filter(|p| p.mode == PointMode::Serve)
-                .count(),
-            1
-        );
+        let serve: Vec<_> = smoke
+            .points
+            .iter()
+            .filter(|p| p.mode == PointMode::Serve)
+            .collect();
+        assert_eq!(serve.len(), 2);
+        assert!(serve.iter().all(|p| p.batch > 0));
     }
 
     #[test]

@@ -6,10 +6,11 @@ use ldp_bench::scenario::{parse_bench_json, regressions, run_scenario, to_json, 
 use ldp_bench::DataSource;
 use ldp_bits::{masks_of_weight, Mask};
 use ldp_core::frame::{read_snapshot, write_snapshot, FrameReader, FrameWriter, StreamHeader};
+use ldp_core::wire::tag;
 use ldp_core::{clamp_normalize, user_rng, MarginalEstimator};
 use ldp_oracles::pipeline::{
-    header_for, Client, PipelineAccumulator, PipelineEstimate, PipelineReport, Protocol,
-    SketchShape,
+    decode_report_batch_into, encode_report_batch, header_for, Client, PipelineAccumulator,
+    PipelineEstimate, PipelineReport, Protocol, SketchShape,
 };
 use ldp_oracles::FrequencyOracle;
 use ldp_server::{Control, QueryRequest, QueryTarget, Request, Response};
@@ -58,6 +59,7 @@ pub fn encode(flags: &Flags) -> Result<(), String> {
     let eps: f64 = flags.parsed("eps", 1.1)?;
     let seed: u64 = flags.parsed("seed", 42)?;
     let first_user: u64 = flags.parsed("first-user", 0)?;
+    let batch: usize = flags.parsed("batch", 0)?;
     let sketch = SketchShape {
         hashes: flags.parsed("hashes", 5)?,
         width: flags.parsed("width", 256)?,
@@ -102,11 +104,30 @@ pub fn encode(flags: &Flags) -> Result<(), String> {
         .write_frame(&header.to_bytes())
         .map_err(|e| e.to_string())?;
     let mut wire_bytes = 0usize;
+    // With `--batch N`, reports are grouped into `REPORT_BATCH` frames
+    // (wire v2) of up to N reports; `--batch 0` keeps the wire-v1
+    // one-frame-per-report shape.
+    let mut chunk: Vec<Vec<u8>> = Vec::new();
     for (i, &row) in rows.iter().enumerate() {
         let mut rng = user_rng(seed, first_user + i as u64);
         let report = client.encode_report(row, &mut rng);
         wire_bytes += report.len();
-        writer.write_frame(&report).map_err(|e| e.to_string())?;
+        if batch == 0 {
+            writer.write_frame(&report).map_err(|e| e.to_string())?;
+        } else {
+            chunk.push(report);
+            if chunk.len() >= batch {
+                writer
+                    .write_frame(&encode_report_batch(&chunk))
+                    .map_err(|e| e.to_string())?;
+                chunk.clear();
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        writer
+            .write_frame(&encode_report_batch(&chunk))
+            .map_err(|e| e.to_string())?;
     }
     writer.flush().map_err(|e| e.to_string())?;
     eprintln!(
@@ -139,6 +160,9 @@ pub fn ingest(flags: &Flags) -> Result<(), String> {
     let header = read_stream_header(&mut reader, "report stream")?;
     let mut acc = PipelineAccumulator::empty(&header)?;
     let mut batch: Vec<PipelineReport> = Vec::with_capacity(INGEST_BATCH);
+    // Separate slot-reusing scratch for `REPORT_BATCH` envelope frames
+    // (wire v2), which carry their own batch of reports.
+    let mut envelope: Vec<PipelineReport> = Vec::new();
     let mut frame = Vec::new();
     let mut eof = false;
     while !eof {
@@ -150,6 +174,17 @@ pub fn ingest(flags: &Flags) -> Result<(), String> {
             {
                 eof = true;
                 break;
+            }
+            if frame.first() == Some(&tag::REPORT_BATCH) {
+                // Settle pending single reports first, then the whole
+                // envelope (absorption order is immaterial by the
+                // partition-invariance law, but this keeps counts easy
+                // to follow).
+                acc.absorb_batch(&batch[..filled])?;
+                filled = 0;
+                let n = decode_report_batch_into(&frame, &mut envelope)?;
+                acc.absorb_batch(&envelope[..n])?;
+                continue;
             }
             if filled < batch.len() {
                 batch[filled].decode_into(&frame)?;

@@ -45,7 +45,8 @@ BATCH SUBCOMMANDS
           --d D (8) --k K (2) --eps E (1.1) --seed S (42) --first-user U (0)
           --hashes G (5) --width W (256) --family-seed F (1)   [oracles only]
           --generate SRC --n N (synthesize rows instead of reading --input)
-          --input PATH (-) --output PATH (-)
+          --batch B (0; group B reports per REPORT_BATCH frame, 0 = one
+          frame per report) --input PATH (-) --output PATH (-)
   ingest  Fold a report stream into a serialized accumulator snapshot.
           --input PATH (-) --output PATH (-)
   merge   Combine N snapshots of the same pipeline into one.
@@ -68,6 +69,8 @@ SERVING SUBCOMMANDS
   load    Drive a server with concurrent clients (traffic generator).
           --connect ADDR (required) --protocol NAME (required)
           --clients C (4) --reports M (2500; per client)
+          --batch B (0; reports per REPORT_BATCH frame, 0 = one frame
+          per report — see docs/OPERATIONS.md for sizing)
           --d/--k/--eps/--seed/--generate/--hashes/--width/--family-seed as encode
   snapshot  Fetch the live merged snapshot as a snapshot file.
           --connect ADDR (required) --output PATH (-)
@@ -124,6 +127,7 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
                     "family-seed",
                     "generate",
                     "n",
+                    "batch",
                     "input",
                     "output",
                 ],
@@ -167,6 +171,7 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
                     "protocol",
                     "clients",
                     "reports",
+                    "batch",
                     "d",
                     "k",
                     "eps",

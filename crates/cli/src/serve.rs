@@ -8,7 +8,7 @@ use ldp_bench::DataSource;
 use ldp_core::frame::write_snapshot;
 use ldp_core::user_rng;
 use ldp_oracles::pipeline::{header_for, Client, Protocol, SketchShape};
-use ldp_server::{push_reports, Control, Request, Response, Server};
+use ldp_server::{push_report_batches, Control, Request, Response, Server};
 use std::time::Instant;
 
 /// `serve`: run the aggregation server until a graceful-shutdown
@@ -58,6 +58,9 @@ pub fn load(flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.parsed("seed", 42)?;
     let clients: usize = flags.parsed("clients", 4)?;
     let per_client: usize = flags.parsed("reports", 2_500)?;
+    // Reports per `REPORT_BATCH` frame; 0 pushes one frame per report
+    // (the wire-v1 shape). See docs/OPERATIONS.md for sizing guidance.
+    let batch: usize = flags.parsed("batch", 0)?;
     let sketch = SketchShape {
         hashes: flags.parsed("hashes", 5)?,
         width: flags.parsed("width", 256)?,
@@ -122,7 +125,7 @@ pub fn load(flags: &Flags) -> Result<(), String> {
     let acked: u64 = std::thread::scope(|scope| {
         frames
             .iter()
-            .map(|slice| scope.spawn(move || push_reports(addr, &header, slice)))
+            .map(|slice| scope.spawn(move || push_report_batches(addr, &header, slice, batch)))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| {

@@ -129,65 +129,195 @@ impl<W: Write> FrameWriter<W> {
     }
 }
 
-/// Read length-prefixed frames from any [`Read`] source.
+/// Size of a [`FrameReader`]'s internal read buffer. One `read` call
+/// against a batched ingest socket typically returns many whole frames,
+/// which the reader then slices out without touching the source again —
+/// the syscall amortization behind the batched serve wire path.
+const READ_BUF_LEN: usize = 64 * 1024;
+
+/// Read length-prefixed frames from any [`Read`] source, buffering
+/// reads: the reader pulls up to `READ_BUF_LEN` (64 KiB) per `read` call
+/// and serves length prefixes and payloads out of the buffer, so small
+/// frames cost no syscall each. Payloads larger than what is buffered
+/// stream directly into the caller's vector.
+///
+/// Because the reader buffers ahead, it must own the source for the
+/// rest of the conversation: dropping it (or calling
+/// [`FrameReader::into_inner`]) discards any bytes already pulled off
+/// the source.
 #[derive(Debug)]
 pub struct FrameReader<R: Read> {
     inner: R,
-}
-
-/// Fill `buf` as far as the source allows, tolerating short reads.
-/// `get_mut` (not direct slicing) keeps the loop index-panic-free even
-/// against a source that over-reports its read count.
-fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
-    let mut got = 0;
-    while let Some(rest) = buf.get_mut(got..).filter(|rest| !rest.is_empty()) {
-        match r.read(rest) {
-            Ok(0) => break,
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(got)
-}
-
-/// Like [`read_up_to`], but sources that report a read timeout
-/// (`WouldBlock` from a non-blocking socket, `TimedOut` from one with a
-/// read timeout) consult `keep_going`: retry while it holds, abandon the
-/// read with [`FrameError::Interrupted`] once it does not. Partial
-/// progress is kept across retries, so a frame split over many timeout
-/// windows still assembles correctly.
-fn read_up_to_while<R: Read, F: Fn() -> bool>(
-    r: &mut R,
-    buf: &mut [u8],
-    keep_going: &F,
-) -> Result<usize, FrameError> {
-    let mut got = 0;
-    while let Some(rest) = buf.get_mut(got..).filter(|rest| !rest.is_empty()) {
-        match r.read(rest) {
-            Ok(0) => break,
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if !keep_going() {
-                    return Err(FrameError::Interrupted);
-                }
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(got)
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wrap a source.
     pub fn new(inner: R) -> Self {
-        FrameReader { inner }
+        FrameReader {
+            inner,
+            buf: vec![0; READ_BUF_LEN],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed.
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Copy up to `dst.len()` already-buffered bytes into `dst`,
+    /// consuming them; returns the count copied. `get`-based slicing
+    /// keeps this panic-free even if the buffer invariants were ever
+    /// violated (it degrades to copying nothing).
+    fn take_buffered(&mut self, dst: &mut [u8]) -> usize {
+        let n = dst.len().min(self.buffered());
+        let src = self.buf.get(self.start..self.start + n);
+        let dst = dst.get_mut(..n);
+        let (Some(src), Some(dst)) = (src, dst) else {
+            return 0;
+        };
+        dst.copy_from_slice(src);
+        self.start += n;
+        n
+    }
+
+    /// One `read` from the source into the buffer tail (compacting
+    /// leftover bytes to the front first); returns the byte count, with
+    /// `0` meaning end of stream. `keep_going: None` propagates read
+    /// timeouts (`WouldBlock` / `TimedOut`) as I/O errors — the
+    /// blocking-source path; `Some` retries through them while the
+    /// condition holds and abandons the read with
+    /// [`FrameError::Interrupted`] once it does not. Bytes already
+    /// buffered are kept across retries, so a frame split over many
+    /// timeout windows still assembles correctly.
+    fn refill(&mut self, keep_going: Option<&dyn Fn() -> bool>) -> Result<usize, FrameError> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        loop {
+            let Some(tail) = self.buf.get_mut(self.end..).filter(|t| !t.is_empty()) else {
+                // A full buffer cannot happen: callers refill only while
+                // they need bytes for a prefix (4 bytes) or a payload
+                // shorter than the buffer; longer payloads drain the
+                // buffer first and then stream directly.
+                return Ok(0);
+            };
+            match self.inner.read(tail) {
+                Ok(n) => {
+                    self.end += n;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match keep_going {
+                        Some(keep) if keep() => continue,
+                        Some(_) => return Err(FrameError::Interrupted),
+                        None => return Err(e.into()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Read from the source directly into the unfilled tail of `dst`
+    /// (bypassing the buffer) until `dst` is full or the stream ends;
+    /// returns the total filled, starting from `already`. Timeout
+    /// handling matches [`FrameReader::refill`].
+    fn read_direct(
+        &mut self,
+        dst: &mut [u8],
+        already: usize,
+        keep_going: Option<&dyn Fn() -> bool>,
+    ) -> Result<usize, FrameError> {
+        let mut got = already;
+        while let Some(rest) = dst.get_mut(got..).filter(|rest| !rest.is_empty()) {
+            match self.inner.read(rest) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match keep_going {
+                        Some(keep) if keep() => continue,
+                        Some(_) => return Err(FrameError::Interrupted),
+                        None => return Err(e.into()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(got)
+    }
+
+    /// The shared frame-assembly loop behind both public `next_frame`
+    /// forms: length prefix and payload come out of the buffer when
+    /// available, with at most one source `read` per refill.
+    fn read_frame_into(
+        &mut self,
+        payload: &mut Vec<u8>,
+        keep_going: Option<&dyn Fn() -> bool>,
+    ) -> Result<bool, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        let mut got = self.take_buffered(&mut len_bytes);
+        while got < 4 {
+            if self.refill(keep_going)? == 0 {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated { needed: 4, got });
+            }
+            if let Some(rest) = len_bytes.get_mut(got..) {
+                got += self.take_buffered(rest);
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(u64::from(len)));
+        }
+        payload.clear();
+        payload.resize(len as usize, 0);
+        let mut got = self.take_buffered(payload);
+        while got < payload.len() {
+            if self.buffered() > 0 {
+                if let Some(rest) = payload.get_mut(got..) {
+                    got += self.take_buffered(rest);
+                }
+                continue;
+            }
+            // Large remainders stream straight from the source; small
+            // ones go through the buffer so the bytes of the *next*
+            // frames ride along in the same `read` call.
+            if payload.len() - got >= READ_BUF_LEN / 2 {
+                got = self.read_direct(payload, got, keep_going)?;
+                break;
+            }
+            if self.refill(keep_going)? == 0 {
+                break;
+            }
+        }
+        if got < payload.len() {
+            return Err(FrameError::Truncated {
+                needed: len as usize,
+                got,
+            });
+        }
+        Ok(true)
     }
 
     /// Read the next frame's payload; `Ok(None)` at a clean end of
@@ -202,28 +332,7 @@ impl<R: Read> FrameReader<R> {
     /// `Ok(false)` at a clean end of stream — the zero-allocation form
     /// of [`FrameReader::next_frame`] the batched ingest loops use.
     pub fn next_frame_into(&mut self, payload: &mut Vec<u8>) -> Result<bool, FrameError> {
-        let mut len_bytes = [0u8; 4];
-        let got = read_up_to(&mut self.inner, &mut len_bytes)?;
-        if got == 0 {
-            return Ok(false);
-        }
-        if got < 4 {
-            return Err(FrameError::Truncated { needed: 4, got });
-        }
-        let len = u32::from_le_bytes(len_bytes);
-        if len > MAX_FRAME_LEN {
-            return Err(FrameError::Oversized(u64::from(len)));
-        }
-        payload.clear();
-        payload.resize(len as usize, 0);
-        let got = read_up_to(&mut self.inner, payload)?;
-        if got < payload.len() {
-            return Err(FrameError::Truncated {
-                needed: len as usize,
-                got,
-            });
-        }
-        Ok(true)
+        self.read_frame_into(payload, None)
     }
 
     /// Read the next frame from a long-lived socket, staying
@@ -256,31 +365,11 @@ impl<R: Read> FrameReader<R> {
         payload: &mut Vec<u8>,
         keep_going: F,
     ) -> Result<bool, FrameError> {
-        let mut len_bytes = [0u8; 4];
-        let got = read_up_to_while(&mut self.inner, &mut len_bytes, &keep_going)?;
-        if got == 0 {
-            return Ok(false);
-        }
-        if got < 4 {
-            return Err(FrameError::Truncated { needed: 4, got });
-        }
-        let len = u32::from_le_bytes(len_bytes);
-        if len > MAX_FRAME_LEN {
-            return Err(FrameError::Oversized(u64::from(len)));
-        }
-        payload.clear();
-        payload.resize(len as usize, 0);
-        let got = read_up_to_while(&mut self.inner, payload, &keep_going)?;
-        if got < payload.len() {
-            return Err(FrameError::Truncated {
-                needed: len as usize,
-                got,
-            });
-        }
-        Ok(true)
+        self.read_frame_into(payload, Some(&keep_going))
     }
 
-    /// Unwrap the source.
+    /// Unwrap the source, discarding any read-ahead bytes still
+    /// buffered (see the type-level note).
     pub fn into_inner(self) -> R {
         self.inner
     }
@@ -558,6 +647,198 @@ mod tests {
             r.next_frame_while(keep),
             Err(FrameError::Interrupted)
         ));
+    }
+
+    /// A source that delivers its bytes in a fixed, cycling pattern of
+    /// chunk sizes — the fault-injection transport: it can split reads
+    /// exactly on a length prefix, inside one, one byte at a time, or
+    /// report a read timeout between chunks, while counting how many
+    /// times the reader actually hit the source.
+    struct ChunkedStream {
+        bytes: Vec<u8>,
+        pos: usize,
+        chunks: Vec<usize>,
+        next: usize,
+        timeout_between: bool,
+        timed_out: bool,
+        reads: usize,
+    }
+
+    impl ChunkedStream {
+        fn new(bytes: Vec<u8>, chunks: Vec<usize>, timeout_between: bool) -> Self {
+            ChunkedStream {
+                bytes,
+                pos: 0,
+                chunks,
+                next: 0,
+                timeout_between,
+                timed_out: false,
+                reads: 0,
+            }
+        }
+    }
+
+    impl std::io::Read for ChunkedStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.reads += 1;
+            if self.timeout_between && !self.timed_out {
+                self.timed_out = true;
+                return Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "window"));
+            }
+            self.timed_out = false;
+            if self.pos == self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            let step = self.chunks[self.next % self.chunks.len()].max(1);
+            self.next += 1;
+            let n = step.min(buf.len()).min(self.bytes.len() - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// A frame stream exercising every payload class: empty, tiny,
+    /// mid-sized, and one larger than the reader's internal buffer (the
+    /// direct-read spill path).
+    fn fault_injection_frames() -> Vec<Vec<u8>> {
+        vec![
+            b"".to_vec(),
+            b"x".to_vec(),
+            vec![0xAB; 5],
+            vec![0xCD; 300],
+            (0..(READ_BUF_LEN + 513)).map(|i| i as u8).collect(),
+            b"tail".to_vec(),
+        ]
+    }
+
+    #[test]
+    fn buffered_reader_slices_many_frames_from_one_read() {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        for i in 0..100u32 {
+            w.write_frame(&i.to_le_bytes()).unwrap();
+        }
+        // The whole stream arrives in one read call…
+        let source = ChunkedStream::new(buf, vec![usize::MAX], false);
+        let mut r = FrameReader::new(source);
+        for i in 0..100u32 {
+            assert_eq!(r.next_frame().unwrap().unwrap(), i.to_le_bytes());
+        }
+        assert!(r.next_frame().unwrap().is_none());
+        // …so the reader touched the source once for the bytes and once
+        // for the end-of-stream probe.
+        assert_eq!(r.into_inner().reads, 2);
+    }
+
+    #[test]
+    fn frame_reassembly_survives_adversarial_chunkings() {
+        let frames = fault_injection_frames();
+        let mut serial = Vec::new();
+        let mut w = FrameWriter::new(&mut serial);
+        for f in &frames {
+            w.write_frame(f).unwrap();
+        }
+        // 1-byte reads, splits exactly on / inside the 4-byte length
+        // prefix, odd cycles straddling frame boundaries, and huge reads.
+        let patterns: &[&[usize]] = &[
+            &[1],
+            &[2],
+            &[3],
+            &[4],
+            &[5],
+            &[7, 1],
+            &[1, 2, 3],
+            &[4, 1],
+            &[2, 2, 9],
+            &[3, 5],
+            &[READ_BUF_LEN - 1],
+            &[usize::MAX],
+        ];
+        for &pattern in patterns {
+            for timeouts in [false, true] {
+                let source = ChunkedStream::new(serial.clone(), pattern.to_vec(), timeouts);
+                let mut r = FrameReader::new(source);
+                for (i, want) in frames.iter().enumerate() {
+                    let got = if timeouts {
+                        r.next_frame_while(|| true).unwrap()
+                    } else {
+                        // A blocking source never times out; the plain
+                        // reader must reassemble identically.
+                        r.next_frame().unwrap()
+                    };
+                    assert_eq!(
+                        got.as_deref(),
+                        Some(want.as_slice()),
+                        "frame {i} torn under chunking {pattern:?} (timeouts: {timeouts})"
+                    );
+                }
+                assert!(
+                    r.next_frame_while(|| true).unwrap().is_none(),
+                    "spurious trailing frame under chunking {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eof_at_every_cut_point_is_clean_or_truncated_never_torn() {
+        // Two frames; cut the byte stream at every possible point and
+        // check the reader reports exactly the right thing: whole
+        // frames decode, a cut on a boundary is a clean end of stream,
+        // and a cut inside a prefix or payload is `Truncated` with
+        // honest counts — never a mis-framed payload.
+        let first = b"abcdef".to_vec();
+        let second = vec![0x5A; 9];
+        let mut serial = Vec::new();
+        let mut w = FrameWriter::new(&mut serial);
+        w.write_frame(&first).unwrap();
+        w.write_frame(&second).unwrap();
+        let first_end = 4 + first.len();
+        for cut in 0..=serial.len() {
+            for pattern in [&[1usize][..], &[3, 4][..], &[usize::MAX][..]] {
+                let source = ChunkedStream::new(serial[..cut].to_vec(), pattern.to_vec(), false);
+                let mut r = FrameReader::new(source);
+                if cut == 0 {
+                    assert!(r.next_frame().unwrap().is_none());
+                    continue;
+                }
+                if cut < 4 {
+                    assert!(matches!(
+                        r.next_frame(),
+                        Err(FrameError::Truncated { needed: 4, got }) if got == cut
+                    ));
+                    continue;
+                }
+                if cut < first_end {
+                    assert!(matches!(
+                        r.next_frame(),
+                        Err(FrameError::Truncated { needed, got })
+                            if needed == first.len() && got == cut - 4
+                    ));
+                    continue;
+                }
+                assert_eq!(r.next_frame().unwrap().unwrap(), first);
+                if cut == first_end {
+                    assert!(r.next_frame().unwrap().is_none());
+                } else if cut < first_end + 4 {
+                    assert!(matches!(
+                        r.next_frame(),
+                        Err(FrameError::Truncated { needed: 4, got })
+                            if got == cut - first_end
+                    ));
+                } else if cut < serial.len() {
+                    assert!(matches!(
+                        r.next_frame(),
+                        Err(FrameError::Truncated { needed, got })
+                            if needed == second.len() && got == cut - first_end - 4
+                    ));
+                } else {
+                    assert_eq!(r.next_frame().unwrap().unwrap(), second);
+                    assert!(r.next_frame().unwrap().is_none());
+                }
+            }
+        }
     }
 
     #[test]

@@ -123,53 +123,47 @@ impl MechanismReport {
         }
     }
 
-    /// Decode a report frame payload written by
-    /// [`MechanismReport::to_bytes`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
-        let found = Reader::peek_tag(bytes);
-        match found {
+    /// Decode one report at a cursor, leaving the cursor on the byte
+    /// after it (no trailing-bytes check) — the walk step for
+    /// `REPORT_BATCH` payloads, which concatenate many self-describing
+    /// report blobs. [`MechanismReport::from_bytes`] is this plus a
+    /// whole-blob [`Reader::finish`].
+    pub fn decode_next(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.peek() {
             Some(tag::REPORT_INP_RR) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_RR)?;
-                let ones = r.get_u32_vec()?;
-                r.finish()?;
-                Ok(MechanismReport::InpRr(ones))
+                r.expect_tag(tag::REPORT_INP_RR)?;
+                Ok(MechanismReport::InpRr(r.get_u32_vec()?))
             }
             Some(tag::REPORT_INP_PS) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_PS)?;
-                let cell = r.get_u64()?;
-                r.finish()?;
-                Ok(MechanismReport::InpPs(cell))
+                r.expect_tag(tag::REPORT_INP_PS)?;
+                Ok(MechanismReport::InpPs(r.get_u64()?))
             }
             Some(tag::REPORT_INP_HT) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_HT)?;
+                r.expect_tag(tag::REPORT_INP_HT)?;
                 let coefficient = r.get_u32()?;
-                let sign_positive = get_sign(&mut r)?;
-                r.finish()?;
+                let sign_positive = get_sign(r)?;
                 Ok(MechanismReport::InpHt(InpHtReport {
                     coefficient,
                     sign_positive,
                 }))
             }
             Some(tag::REPORT_MARG_RR) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_RR)?;
+                r.expect_tag(tag::REPORT_MARG_RR)?;
                 let marginal = r.get_u32()?;
                 let ones = r.get_u16_vec()?;
-                r.finish()?;
                 Ok(MechanismReport::MargRr(MargRrReport { marginal, ones }))
             }
             Some(tag::REPORT_MARG_PS) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_PS)?;
+                r.expect_tag(tag::REPORT_MARG_PS)?;
                 let marginal = r.get_u32()?;
                 let cell = r.get_u16()?;
-                r.finish()?;
                 Ok(MechanismReport::MargPs(MargPsReport { marginal, cell }))
             }
             Some(tag::REPORT_MARG_HT) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_HT)?;
+                r.expect_tag(tag::REPORT_MARG_HT)?;
                 let marginal = r.get_u32()?;
                 let coefficient = r.get_u16()?;
-                let sign_positive = get_sign(&mut r)?;
-                r.finish()?;
+                let sign_positive = get_sign(r)?;
                 Ok(MechanismReport::MargHt(MargHtReport {
                     marginal,
                     coefficient,
@@ -177,12 +171,43 @@ impl MechanismReport {
                 }))
             }
             Some(tag::REPORT_INP_EM) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_EM)?;
-                let row = r.get_u64()?;
-                r.finish()?;
-                Ok(MechanismReport::InpEm(row))
+                r.expect_tag(tag::REPORT_INP_EM)?;
+                Ok(MechanismReport::InpEm(r.get_u64()?))
             }
             _ => Err(WireError::Invalid("unknown mechanism report tag")),
+        }
+    }
+
+    /// Decode a report frame payload written by
+    /// [`MechanismReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let report = Self::decode_next(&mut r)?;
+        r.finish()?;
+        Ok(report)
+    }
+
+    /// Cursor form of [`MechanismReport::decode_into`]: decode one
+    /// report at the cursor into `self`, reusing any heap capacity the
+    /// current value already owns. On error the cursor position and
+    /// `self` are unspecified (but valid); neither must be used further.
+    pub fn decode_next_into(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        match (r.peek(), &mut *self) {
+            (Some(tag::REPORT_INP_RR), MechanismReport::InpRr(ones)) => {
+                r.expect_tag(tag::REPORT_INP_RR)?;
+                r.get_u32_vec_into(ones)
+            }
+            (Some(tag::REPORT_MARG_RR), MechanismReport::MargRr(report)) => {
+                r.expect_tag(tag::REPORT_MARG_RR)?;
+                report.marginal = r.get_u32()?;
+                r.get_u16_vec_into(&mut report.ones)
+            }
+            // Every other report kind is a fixed-size value: a plain
+            // decode already allocates nothing.
+            _ => {
+                *self = MechanismReport::decode_next(r)?;
+                Ok(())
+            }
         }
     }
 
@@ -193,25 +218,9 @@ impl MechanismReport {
     /// [`MechanismReport::from_bytes`] does; on error `self` is left as
     /// some valid (but unspecified) report and must not be absorbed.
     pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), WireError> {
-        match (Reader::peek_tag(bytes), &mut *self) {
-            (Some(tag::REPORT_INP_RR), MechanismReport::InpRr(ones)) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_INP_RR)?;
-                r.get_u32_vec_into(ones)?;
-                r.finish()
-            }
-            (Some(tag::REPORT_MARG_RR), MechanismReport::MargRr(report)) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_MARG_RR)?;
-                report.marginal = r.get_u32()?;
-                r.get_u16_vec_into(&mut report.ones)?;
-                r.finish()
-            }
-            // Every other report kind is a fixed-size value: a plain
-            // decode already allocates nothing.
-            _ => {
-                *self = MechanismReport::from_bytes(bytes)?;
-                Ok(())
-            }
-        }
+        let mut r = Reader::new(bytes);
+        self.decode_next_into(&mut r)?;
+        r.finish()
     }
 }
 

@@ -63,6 +63,12 @@ pub mod tag {
     /// snapshots.
     pub const STREAM_HEADER: u8 = 0x40;
 
+    /// A report batch envelope (wire v2): a `u32` report count followed
+    /// by that many back-to-back self-describing report blobs, all
+    /// inside one frame. Amortizes the per-report frame overhead on the
+    /// serve ingest path (`docs/WIRE_FORMAT.md` §5.1).
+    pub const REPORT_BATCH: u8 = 0x41;
+
     // Aggregation-server control plane (`ldp_server`): request frames a
     // client sends over a control connection (0x50–0x57) and the
     // response frames the server answers with (0x58–0x5F). One request
@@ -92,8 +98,16 @@ pub mod tag {
     pub const RESP_ERROR: u8 = 0x5F;
 }
 
-/// The current (and only) wire-format version.
-pub const VERSION: u8 = 1;
+/// The current wire-format version. Writers always emit it.
+///
+/// v2 added the [`tag::REPORT_BATCH`] envelope; every field layout of
+/// v1 is unchanged, so v1 blobs decode as-is (see [`MIN_VERSION`]).
+pub const VERSION: u8 = 2;
+
+/// The oldest wire-format version this build still decodes. Readers
+/// accept any version in `MIN_VERSION..=`[`VERSION`] and reject
+/// anything newer with [`WireError::UnsupportedVersion`].
+pub const MIN_VERSION: u8 = 1;
 
 /// Why a byte blob failed to decode into an accumulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -233,6 +247,14 @@ impl Writer {
         self.buf.extend_from_slice(vs);
     }
 
+    /// Append pre-encoded bytes verbatim (no length prefix) — the
+    /// concatenation form [`tag::REPORT_BATCH`] payloads use, where each
+    /// constituent blob is already self-describing (tag + version +
+    /// fields).
+    pub fn put_raw(&mut self, vs: &[u8]) {
+        self.buf.extend_from_slice(vs);
+    }
+
     /// Append a length-prefixed `f64` slice (exact IEEE-754 bits).
     pub fn put_f64_slice(&mut self, vs: &[f64]) {
         self.put_u64(vs.len() as u64);
@@ -258,21 +280,51 @@ pub struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// Open a blob, checking its type tag and version.
     pub fn with_tag(bytes: &'a [u8], expected: u8) -> Result<Self, WireError> {
-        let mut r = Reader { bytes, pos: 0 };
-        let found = r.get_u8().ok();
+        let mut r = Reader::new(bytes);
+        r.expect_tag(expected)?;
+        Ok(r)
+    }
+
+    /// Open a blob at its first byte without consuming anything — the
+    /// cursor form used to walk several concatenated tagged blobs (a
+    /// [`tag::REPORT_BATCH`] payload). Pair with [`Reader::expect_tag`]
+    /// per blob and one [`Reader::finish`] at the end.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Consume a tag + version prelude at the cursor, checking the tag
+    /// and that the version is one this build decodes
+    /// ([`MIN_VERSION`]`..=`[`VERSION`]).
+    pub fn expect_tag(&mut self, expected: u8) -> Result<(), WireError> {
+        let found = self.get_u8().ok();
         if found != Some(expected) {
             return Err(WireError::WrongTag { expected, found });
         }
-        let version = r.get_u8()?;
-        if version != VERSION {
+        let version = self.get_u8()?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
-        Ok(r)
+        Ok(())
     }
 
     /// Peek at a blob's type tag without consuming anything.
     pub fn peek_tag(bytes: &[u8]) -> Option<u8> {
         bytes.first().copied()
+    }
+
+    /// Peek the byte at the cursor (the next blob's tag in a
+    /// concatenated batch payload) without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -473,6 +525,81 @@ mod tests {
             Reader::with_tag(&bytes, tag::OLH),
             Err(WireError::UnsupportedVersion(v)) if v == VERSION + 1
         ));
+    }
+
+    #[test]
+    fn accepts_every_supported_legacy_version() {
+        // A v1 blob (the pre-batch wire format) must keep decoding: the
+        // field layouts are unchanged, only the version byte moved.
+        let mut w = Writer::with_tag(tag::OLH);
+        w.put_u64(77);
+        for version in MIN_VERSION..=VERSION {
+            let mut bytes = w.buf.clone();
+            bytes[1] = version;
+            let mut r = Reader::with_tag(&bytes, tag::OLH).unwrap();
+            assert_eq!(r.get_u64().unwrap(), 77);
+            r.finish().unwrap();
+        }
+        let mut bytes = w.buf.clone();
+        bytes[1] = MIN_VERSION - 1;
+        assert!(matches!(
+            Reader::with_tag(&bytes, tag::OLH),
+            Err(WireError::UnsupportedVersion(0))
+        ));
+    }
+
+    #[test]
+    fn cursor_walks_concatenated_blobs() {
+        // Three self-describing blobs back to back — the REPORT_BATCH
+        // payload shape — read with one cursor and a single finish.
+        let mut batch = Vec::new();
+        for v in [3u64, 5, 7] {
+            let mut w = Writer::with_tag(tag::REPORT_OLH);
+            w.put_u64(v);
+            batch.extend_from_slice(&w.into_bytes());
+        }
+        let mut r = Reader::new(&batch);
+        for v in [3u64, 5, 7] {
+            assert_eq!(r.peek(), Some(tag::REPORT_OLH));
+            r.expect_tag(tag::REPORT_OLH).unwrap();
+            assert_eq!(r.get_u64().unwrap(), v);
+        }
+        assert_eq!(r.peek(), None);
+        assert_eq!(r.remaining(), 0);
+        r.finish().unwrap();
+
+        // A wrong tag mid-batch names both sides; an empty cursor
+        // reports `found: None` like the slice form.
+        let mut r = Reader::new(&batch);
+        assert!(matches!(
+            r.expect_tag(tag::REPORT_CMS),
+            Err(WireError::WrongTag {
+                expected: tag::REPORT_CMS,
+                found: Some(tag::REPORT_OLH)
+            })
+        ));
+        let mut empty = Reader::new(&[]);
+        assert!(matches!(
+            empty.expect_tag(tag::REPORT_OLH),
+            Err(WireError::WrongTag { found: None, .. })
+        ));
+    }
+
+    #[test]
+    fn put_raw_appends_verbatim() {
+        let mut inner = Writer::with_tag(tag::REPORT_OLH);
+        inner.put_u64(9);
+        let inner = inner.into_bytes();
+        let mut w = Writer::with_tag(tag::REPORT_BATCH);
+        w.put_u32(1);
+        w.put_raw(&inner);
+        let bytes = w.into_bytes();
+        let mut r = Reader::with_tag(&bytes, tag::REPORT_BATCH).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 1);
+        assert_eq!(r.remaining(), inner.len());
+        r.expect_tag(tag::REPORT_OLH).unwrap();
+        assert_eq!(r.get_u64().unwrap(), 9);
+        r.finish().unwrap();
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::streaming::{
     build_oracle, Oracle, OracleAccumulator, OracleEstimate, OracleKind, OracleReport,
 };
 use ldp_core::frame::StreamHeader;
+use ldp_core::wire::{tag, Reader, Writer};
 use ldp_core::{
     Accumulator, Estimate, Mechanism, MechanismAccumulator, MechanismKind, MechanismReport,
 };
@@ -239,18 +240,50 @@ impl PipelineReport {
         }
     }
 
-    /// Decode a report frame payload (self-describing by its leading
-    /// tag byte).
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        match bytes.first() {
-            Some(0x21..=0x2F) => MechanismReport::from_bytes(bytes)
+    /// Decode one report starting at the cursor of `r` (self-describing
+    /// by its tag byte) and leave the cursor on the byte after it — the
+    /// walk step used by [`decode_report_batch_into`]. No
+    /// trailing-bytes check; callers that decode a standalone payload
+    /// should use [`PipelineReport::from_bytes`] instead.
+    pub fn decode_next(r: &mut Reader<'_>) -> Result<Self, String> {
+        match r.peek() {
+            Some(0x21..=0x2F) => MechanismReport::decode_next(r)
                 .map(PipelineReport::Mechanism)
                 .map_err(|e| format!("bad report frame: {e}")),
-            Some(0x31..=0x3F) => OracleReport::from_bytes(bytes)
+            Some(0x31..=0x3F) => OracleReport::decode_next(r)
                 .map(PipelineReport::Oracle)
                 .map_err(|e| format!("bad report frame: {e}")),
             Some(t) => Err(format!("bad report frame: unknown report tag {t:#04x}")),
             None => Err("bad report frame: empty payload".to_string()),
+        }
+    }
+
+    /// Decode a report frame payload (self-describing by its leading
+    /// tag byte).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        let report = Self::decode_next(&mut r)?;
+        r.finish().map_err(|e| format!("bad report frame: {e}"))?;
+        Ok(report)
+    }
+
+    /// Cursor form of [`PipelineReport::decode_into`]: decode the next
+    /// report out of `r` into `self`, reusing heap capacity when the
+    /// report family matches. On error the cursor position is
+    /// unspecified and `self` is some valid (but unspecified) report
+    /// that must not be absorbed.
+    pub fn decode_next_into(&mut self, r: &mut Reader<'_>) -> Result<(), String> {
+        match (r.peek(), &mut *self) {
+            (Some(0x21..=0x2F), PipelineReport::Mechanism(m)) => m
+                .decode_next_into(r)
+                .map_err(|e| format!("bad report frame: {e}")),
+            (Some(0x31..=0x3F), PipelineReport::Oracle(o)) => o
+                .decode_next_into(r)
+                .map_err(|e| format!("bad report frame: {e}")),
+            _ => {
+                *self = PipelineReport::decode_next(r)?;
+                Ok(())
+            }
         }
     }
 
@@ -262,18 +295,9 @@ impl PipelineReport {
     /// does; on error `self` is left as some valid (but unspecified)
     /// report and must not be absorbed.
     pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), String> {
-        match (bytes.first(), &mut *self) {
-            (Some(0x21..=0x2F), PipelineReport::Mechanism(r)) => r
-                .decode_into(bytes)
-                .map_err(|e| format!("bad report frame: {e}")),
-            (Some(0x31..=0x3F), PipelineReport::Oracle(r)) => r
-                .decode_into(bytes)
-                .map_err(|e| format!("bad report frame: {e}")),
-            _ => {
-                *self = PipelineReport::from_bytes(bytes)?;
-                Ok(())
-            }
-        }
+        let mut r = Reader::new(bytes);
+        self.decode_next_into(&mut r)?;
+        r.finish().map_err(|e| format!("bad report frame: {e}"))
     }
 
     /// Display name of the protocol this report belongs to.
@@ -295,6 +319,75 @@ impl PipelineReport {
             PipelineReport::Oracle(r) => r.kind().wire_tag(),
         }
     }
+}
+
+/// The smallest encodable report blob: tag + version + a 4-byte field
+/// (`REPORT_RR` with an empty ones-vector). Used to reject batch
+/// frames whose count prefix claims more reports than the payload
+/// could possibly hold, before any decode work happens.
+const MIN_REPORT_BLOB_BYTES: u64 = 6;
+
+/// Build one [`tag::REPORT_BATCH`] frame payload (wire v2) out of
+/// pre-encoded report frame payloads: a `u32` count followed by the
+/// blobs back to back, each self-describing via its own tag byte.
+///
+/// The count prefix saturates at `u32::MAX`, which no encodable batch
+/// can reach: the 1 GiB frame cap holds fewer than `2^28` copies of
+/// even the smallest report blob.
+#[must_use]
+pub fn encode_report_batch<B: AsRef<[u8]>>(reports: &[B]) -> Vec<u8> {
+    let mut w = Writer::with_tag(tag::REPORT_BATCH);
+    w.put_u32(u32::try_from(reports.len()).unwrap_or(u32::MAX));
+    for report in reports {
+        w.put_raw(report.as_ref());
+    }
+    w.into_bytes()
+}
+
+/// Decode a [`tag::REPORT_BATCH`] frame payload into a reusable
+/// scratch vector, returning the number of reports decoded. Existing
+/// `scratch` slots are refilled in place (reusing their heap capacity)
+/// and the vector grows only when the batch is larger than any seen
+/// before; entries past the returned count are stale leftovers that
+/// must not be absorbed.
+///
+/// Rejects, without panicking: a non-batch tag, an unsupported
+/// version, a count that cannot fit in the payload, a payload that
+/// ends mid-report, and trailing bytes after the final report.
+pub fn decode_report_batch_into(
+    payload: &[u8],
+    scratch: &mut Vec<PipelineReport>,
+) -> Result<usize, String> {
+    let mut r = Reader::new(payload);
+    r.expect_tag(tag::REPORT_BATCH)
+        .map_err(|e| format!("bad report batch frame: {e}"))?;
+    let count = r
+        .get_u32()
+        .map_err(|e| format!("bad report batch frame: {e}"))?;
+    if u64::from(count) * MIN_REPORT_BLOB_BYTES > r.remaining() as u64 {
+        return Err(format!(
+            "bad report batch frame: count {count} cannot fit in {} payload bytes",
+            r.remaining()
+        ));
+    }
+    let want = usize::try_from(count).unwrap_or(usize::MAX);
+    let mut filled = 0usize;
+    while filled < want {
+        if r.remaining() == 0 {
+            return Err(format!(
+                "bad report batch frame: payload ends after {filled} of {count} reports"
+            ));
+        }
+        if let Some(slot) = scratch.get_mut(filled) {
+            slot.decode_next_into(&mut r)?;
+        } else {
+            scratch.push(PipelineReport::decode_next(&mut r)?);
+        }
+        filled += 1;
+    }
+    r.finish()
+        .map_err(|e| format!("bad report batch frame: {e}"))?;
+    Ok(filled)
 }
 
 /// The server half: a type-erased accumulator for either protocol
@@ -523,6 +616,94 @@ mod tests {
             }
             assert_eq!(acc.report_count(), 50);
         }
+    }
+
+    #[test]
+    fn batch_payload_round_trips_and_reuses_scratch() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for header in [
+            StreamHeader::mechanism(MechanismKind::InpRr, 6, 2, 1.1),
+            crate::streaming::oracle_header(OracleKind::Cms, 6, 1.1, 3, 16, 9),
+        ] {
+            let client = Client::from_header(&header).unwrap();
+            let reports: Vec<PipelineReport> = (0..17u64)
+                .map(|u| client.encode(u % 64, &mut rng))
+                .collect();
+            let blobs: Vec<Vec<u8>> = reports.iter().map(PipelineReport::to_bytes).collect();
+            let payload = encode_report_batch(&blobs);
+            assert_eq!(payload[0], tag::REPORT_BATCH);
+
+            let mut scratch = Vec::new();
+            let n = decode_report_batch_into(&payload, &mut scratch).unwrap();
+            assert_eq!(n, reports.len());
+            assert_eq!(&scratch[..n], &reports[..]);
+
+            // A second decode into the same scratch refills slots in
+            // place; a smaller batch leaves stale tail entries behind.
+            let small = encode_report_batch(&blobs[..3]);
+            let n = decode_report_batch_into(&small, &mut scratch).unwrap();
+            assert_eq!(n, 3);
+            assert_eq!(&scratch[..3], &reports[..3]);
+            assert_eq!(scratch.len(), reports.len());
+        }
+    }
+
+    #[test]
+    fn batch_payload_edge_counts_round_trip() {
+        let empty: [&[u8]; 0] = [];
+        let payload = encode_report_batch(&empty);
+        let mut scratch = Vec::new();
+        assert_eq!(decode_report_batch_into(&payload, &mut scratch), Ok(0));
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let header = StreamHeader::mechanism(MechanismKind::MargPs, 6, 2, 1.1);
+        let report = Client::from_header(&header).unwrap().encode(9, &mut rng);
+        let payload = encode_report_batch(&[report.to_bytes()]);
+        assert_eq!(decode_report_batch_into(&payload, &mut scratch), Ok(1));
+        assert_eq!(scratch[0], report);
+    }
+
+    #[test]
+    fn batch_decode_rejects_corruption_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let header = StreamHeader::mechanism(MechanismKind::MargPs, 6, 2, 1.1);
+        let client = Client::from_header(&header).unwrap();
+        let blobs: Vec<Vec<u8>> = (0..4u64)
+            .map(|u| client.encode(u, &mut rng).to_bytes())
+            .collect();
+        let good = encode_report_batch(&blobs);
+        let mut scratch = Vec::new();
+
+        // Truncated anywhere inside the report region: never a panic,
+        // always an error mentioning the batch or report frame.
+        for cut in 0..good.len() - 1 {
+            let err = decode_report_batch_into(&good[..cut], &mut scratch).unwrap_err();
+            assert!(err.starts_with("bad report"), "cut {cut}: {err}");
+        }
+
+        // Count prefix claims more reports than the payload can hold,
+        // including the overflow extreme near the frame cap.
+        for claim in [5u32, u32::MAX] {
+            let mut forged = good.clone();
+            forged[2..6].copy_from_slice(&claim.to_le_bytes());
+            let err = decode_report_batch_into(&forged, &mut scratch).unwrap_err();
+            assert!(err.contains("bad report batch frame"), "{err}");
+        }
+
+        // Count prefix claims fewer reports: the leftover blobs are
+        // trailing bytes, not silently dropped data.
+        let mut forged = good.clone();
+        forged[2..6].copy_from_slice(&3u32.to_le_bytes());
+        let err = decode_report_batch_into(&forged, &mut scratch).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+
+        // Wrong envelope tag and a future envelope version.
+        let err = decode_report_batch_into(&blobs[0], &mut scratch).unwrap_err();
+        assert!(err.contains("bad report batch frame"), "{err}");
+        let mut forged = good.clone();
+        forged[1] = ldp_core::wire::VERSION + 1;
+        let err = decode_report_batch_into(&forged, &mut scratch).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
     }
 
     #[test]

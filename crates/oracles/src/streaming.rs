@@ -206,26 +206,27 @@ impl OracleReport {
         }
     }
 
-    /// Decode a report frame payload written by
-    /// [`OracleReport::to_bytes`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
-        match Reader::peek_tag(bytes) {
+    /// Decode one report at a cursor, leaving the cursor on the byte
+    /// after it (no trailing-bytes check) — the walk step for
+    /// `REPORT_BATCH` payloads, which concatenate many self-describing
+    /// report blobs. [`OracleReport::from_bytes`] is this plus a
+    /// whole-blob [`Reader::finish`].
+    pub fn decode_next(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.peek() {
             Some(tag::REPORT_OLH) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_OLH)?;
+                r.expect_tag(tag::REPORT_OLH)?;
                 let seed = r.get_u64()?;
                 let bucket = r.get_u8()?;
-                r.finish()?;
                 Ok(OracleReport::Olh(OlhReport { seed, bucket }))
             }
             Some(tag::REPORT_CMS) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_CMS)?;
+                r.expect_tag(tag::REPORT_CMS)?;
                 let row = r.get_u8()?;
                 let ones = r.get_u16_vec()?;
-                r.finish()?;
                 Ok(OracleReport::Cms(CmsReport { row, ones }))
             }
             Some(tag::REPORT_HCMS) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_HCMS)?;
+                r.expect_tag(tag::REPORT_HCMS)?;
                 let row = r.get_u8()?;
                 let coefficient = r.get_u16()?;
                 let sign_positive = match r.get_u8()? {
@@ -233,7 +234,6 @@ impl OracleReport {
                     1 => true,
                     _ => return Err(WireError::Invalid("report sign flag")),
                 };
-                r.finish()?;
                 Ok(OracleReport::Hcms(HcmsReport {
                     row,
                     coefficient,
@@ -244,6 +244,35 @@ impl OracleReport {
         }
     }
 
+    /// Decode a report frame payload written by
+    /// [`OracleReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let report = Self::decode_next(&mut r)?;
+        r.finish()?;
+        Ok(report)
+    }
+
+    /// Cursor form of [`OracleReport::decode_into`]: decode one report
+    /// at the cursor into `self`, reusing any heap capacity the current
+    /// value already owns. On error the cursor position and `self` are
+    /// unspecified (but valid); neither must be used further.
+    pub fn decode_next_into(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        match (r.peek(), &mut *self) {
+            (Some(tag::REPORT_CMS), OracleReport::Cms(report)) => {
+                r.expect_tag(tag::REPORT_CMS)?;
+                report.row = r.get_u8()?;
+                r.get_u16_vec_into(&mut report.ones)
+            }
+            // OLH and HCMS reports are fixed-size values: a plain
+            // decode already allocates nothing.
+            _ => {
+                *self = OracleReport::decode_next(r)?;
+                Ok(())
+            }
+        }
+    }
+
     /// Decode a report frame payload into `self`, reusing any heap
     /// capacity the current value already owns (the CMS position
     /// buffer) — the zero-allocation decode path of the batched ingest
@@ -251,20 +280,9 @@ impl OracleReport {
     /// [`OracleReport::from_bytes`] does; on error `self` is left as
     /// some valid (but unspecified) report and must not be absorbed.
     pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), WireError> {
-        match (Reader::peek_tag(bytes), &mut *self) {
-            (Some(tag::REPORT_CMS), OracleReport::Cms(report)) => {
-                let mut r = Reader::with_tag(bytes, tag::REPORT_CMS)?;
-                report.row = r.get_u8()?;
-                r.get_u16_vec_into(&mut report.ones)?;
-                r.finish()
-            }
-            // OLH and HCMS reports are fixed-size values: a plain
-            // decode already allocates nothing.
-            _ => {
-                *self = OracleReport::from_bytes(bytes)?;
-                Ok(())
-            }
-        }
+        let mut r = Reader::new(bytes);
+        self.decode_next_into(&mut r)?;
+        r.finish()
     }
 }
 

@@ -1,32 +1,70 @@
 //! Blocking client helpers for the aggregation server: push a report
-//! stream, or hold a control session.
+//! stream (single-report or batched frames), or hold a control session.
 
 use crate::protocol::{Request, Response};
-use ldp_core::frame::{FrameReader, FrameWriter, StreamHeader};
-use std::io::{BufReader, BufWriter};
+use ldp_core::frame::{FrameError, FrameReader, FrameWriter, StreamHeader};
+use ldp_oracles::pipeline::encode_report_batch;
+use std::io::BufWriter;
 use std::net::{Shutdown, TcpStream};
 
 fn connect(addr: &str) -> Result<TcpStream, String> {
     TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
 }
 
+type PushWriter = FrameWriter<BufWriter<TcpStream>>;
+
 /// Push one report stream — header frame, then every report frame — and
 /// wait for the server's `Ingested` acknowledgement, which confirms the
 /// reports were *absorbed* (not merely received). Returns the absorbed
 /// count.
 pub fn push_reports(addr: &str, header: &StreamHeader, frames: &[Vec<u8>]) -> Result<u64, String> {
+    push_stream(addr, header, |writer| {
+        for frame in frames {
+            writer.write_frame(frame)?;
+        }
+        Ok(())
+    })
+}
+
+/// Push one report stream as `REPORT_BATCH` frames (wire v2) of up to
+/// `batch` reports each, and wait for the ingest acknowledgement.
+/// `frames` holds pre-encoded single-report payloads, exactly as for
+/// [`push_reports`]; a `batch` of `0` falls back to one frame per
+/// report (the wire-v1 shape). See `docs/OPERATIONS.md` for sizing.
+pub fn push_report_batches(
+    addr: &str,
+    header: &StreamHeader,
+    frames: &[Vec<u8>],
+    batch: usize,
+) -> Result<u64, String> {
+    if batch == 0 {
+        return push_reports(addr, header, frames);
+    }
+    push_stream(addr, header, |writer| {
+        for chunk in frames.chunks(batch) {
+            writer.write_frame(&encode_report_batch(chunk))?;
+        }
+        Ok(())
+    })
+}
+
+/// The shared push path: connect, write the header frame and whatever
+/// report frames `write_reports` produces, half-close, and decode the
+/// server's verdict.
+fn push_stream<F>(addr: &str, header: &StreamHeader, write_reports: F) -> Result<u64, String>
+where
+    F: FnOnce(&mut PushWriter) -> Result<(), FrameError>,
+{
     let stream = connect(addr)?;
     let read_half = stream
         .try_clone()
         .map_err(|e| format!("cannot clone the socket: {e}"))?;
-    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut reader = FrameReader::new(read_half);
     let mut writer = FrameWriter::new(BufWriter::new(stream));
 
     let wrote = (|| {
         writer.write_frame(&header.to_bytes())?;
-        for frame in frames {
-            writer.write_frame(frame)?;
-        }
+        write_reports(&mut writer)?;
         writer.flush()
     })();
     if wrote.is_ok() {
@@ -62,7 +100,7 @@ pub fn push_reports(addr: &str, header: &StreamHeader, frames: &[Vec<u8>]) -> Re
 /// A control session: one connection carrying any number of sequential
 /// request/response exchanges.
 pub struct Control {
-    reader: FrameReader<BufReader<TcpStream>>,
+    reader: FrameReader<TcpStream>,
     writer: FrameWriter<BufWriter<TcpStream>>,
 }
 
@@ -77,7 +115,7 @@ impl Control {
             .try_clone()
             .map_err(|e| format!("cannot clone the socket: {e}"))?;
         Ok(Control {
-            reader: FrameReader::new(BufReader::new(read_half)),
+            reader: FrameReader::new(read_half),
             writer: FrameWriter::new(BufWriter::new(stream)),
         })
     }

@@ -34,6 +34,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{push_reports, Control};
+pub use client::{push_report_batches, push_reports, Control};
 pub use protocol::{QueryRequest, QueryTarget, Request, Response, ServerStats};
 pub use server::{Server, ServerSummary};

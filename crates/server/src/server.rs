@@ -4,21 +4,26 @@
 //! One server aggregates one pipeline. The first ingest connection's
 //! `StreamHeader` establishes it and spawns the worker pool — `shards`
 //! threads, each owning a private `PipelineAccumulator`. Connection
-//! handlers decode report frames once and round-robin the typed reports
-//! across workers over `std::sync::mpsc` channels; a live snapshot
-//! collects every worker's serialized state and merges them **in worker
-//! order**, so the `Accumulator` partition-invariance law makes the
-//! result byte-identical to a serial single-process ingest of the same
-//! reports, no matter how connections and workers interleaved.
+//! handlers round-robin work across workers over `std::sync::mpsc`
+//! channels: single-report frames are decoded on the handler and sent
+//! typed; `REPORT_BATCH` frames (wire v2) are forwarded raw and
+//! batch-decoded on the worker, keeping the socket thread on pure
+//! frame I/O. A live snapshot collects every worker's serialized state
+//! and merges them **in worker order**, so the `Accumulator`
+//! partition-invariance law makes the result byte-identical to a
+//! serial single-process ingest of the same reports, no matter how
+//! connections, batches, and workers interleaved.
 
 use crate::protocol::{QueryTarget, Request, Response, ServerStats};
 use ldp_bits::Mask;
 use ldp_core::frame::{FrameError, FrameReader, FrameWriter, StreamHeader};
 use ldp_core::wire::tag;
 use ldp_core::{clamp_normalize, MarginalEstimator};
-use ldp_oracles::pipeline::{PipelineAccumulator, PipelineEstimate, PipelineReport, Protocol};
+use ldp_oracles::pipeline::{
+    decode_report_batch_into, PipelineAccumulator, PipelineEstimate, PipelineReport, Protocol,
+};
 use ldp_oracles::FrequencyOracle;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
@@ -31,8 +36,12 @@ use std::time::{Duration, Instant};
 const READ_TIMEOUT: Duration = Duration::from_millis(25);
 
 /// How often the (non-blocking) accept loop polls for the shutdown
-/// flag while no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// flag while no connection is pending. Also the worst-case latency
+/// before a new connection is accepted, so it is kept small: at 1 ms
+/// the idle loop costs ~1000 no-op `accept` calls per second
+/// (negligible), while connection setup stays off the critical path
+/// of short ingest bursts.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// What a worker thread can be asked to do. Channel order is the
 /// contract: a `Flush` or `Collect` answers only after every report the
@@ -40,10 +49,42 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 enum WorkerMsg {
     /// Absorb one decoded report.
     Report(PipelineReport),
+    /// Decode one raw `REPORT_BATCH` frame payload and absorb every
+    /// report in it, settling the outcome into the sender's
+    /// [`IngestProgress`]. Decoding on the worker keeps the connection
+    /// handler on pure frame I/O.
+    Batch(Vec<u8>, Arc<IngestProgress>),
     /// Acknowledge that everything enqueued earlier is absorbed.
     Flush(mpsc::Sender<()>),
     /// Serialize the current accumulator state.
     Collect(mpsc::Sender<Vec<u8>>),
+}
+
+/// Per-connection outcome of batch frames settled on worker threads.
+/// The connection handler reads it only after a flush round, when
+/// channel order guarantees every batch it enqueued has been decoded
+/// and absorbed (or rejected) — so the ack still means "absorbed",
+/// never "enqueued".
+#[derive(Default)]
+struct IngestProgress {
+    /// Reports absorbed out of this connection's batch frames.
+    absorbed: AtomicU64,
+    /// The first decode/absorb error, folded into the ack.
+    error: Mutex<Option<String>>,
+}
+
+impl IngestProgress {
+    fn record_error(&self, message: String) {
+        let mut slot = self.error.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.get_or_insert(message);
+    }
+
+    fn take_error(&self) -> Option<String> {
+        self.error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
 }
 
 struct Worker {
@@ -103,8 +144,50 @@ fn absorb_drained(acc: &mut PipelineAccumulator, batch: &mut Vec<PipelineReport>
     batch.clear();
 }
 
+/// Decode one raw `REPORT_BATCH` frame payload into the worker's
+/// scratch and absorb it. A batch settles or fails as a unit: any
+/// decode or protocol error rejects every report in the frame, records
+/// the message for the connection's ack, and leaves the accumulator
+/// untouched.
+fn absorb_batch_frame(
+    acc: &mut PipelineAccumulator,
+    payload: &[u8],
+    scratch: &mut Vec<PipelineReport>,
+    progress: &IngestProgress,
+    shared: &Shared,
+) {
+    let decoded = match decode_report_batch_into(payload, scratch) {
+        // The decoder never reports more slots than it filled, so the
+        // range is always in bounds; `get` degrades if that breaks.
+        Ok(n) => scratch.get(..n),
+        Err(message) => {
+            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+            progress.record_error(message);
+            return;
+        }
+    };
+    let Some(decoded) = decoded else { return };
+    match acc.absorb_batch(decoded) {
+        Ok(()) => {
+            let n = decoded.len() as u64;
+            shared.reports.fetch_add(n, Ordering::Relaxed);
+            progress.absorbed.fetch_add(n, Ordering::Relaxed);
+        }
+        Err(message) => {
+            shared
+                .rejected_frames
+                .fetch_add(decoded.len() as u64, Ordering::Relaxed);
+            progress.record_error(message);
+        }
+    }
+}
+
 fn worker_loop(mut acc: PipelineAccumulator, rx: mpsc::Receiver<WorkerMsg>, shared: Arc<Shared>) {
     let mut batch: Vec<PipelineReport> = Vec::with_capacity(WORKER_BATCH);
+    // Decoded-slot scratch for batch frames. Slots persist across
+    // batches (entries past the last decode are stale, never read), so
+    // the steady state re-decodes into already-allocated reports.
+    let mut scratch: Vec<PipelineReport> = Vec::new();
     while let Ok(msg) = rx.recv() {
         let mut pending = Some(msg);
         while let Some(msg) = pending.take() {
@@ -125,6 +208,9 @@ fn worker_loop(mut acc: PipelineAccumulator, rx: mpsc::Receiver<WorkerMsg>, shar
                         }
                     }
                     absorb_drained(&mut acc, &mut batch, &shared);
+                }
+                WorkerMsg::Batch(payload, progress) => {
+                    absorb_batch_frame(&mut acc, &payload, &mut scratch, &progress, &shared);
                 }
                 WorkerMsg::Flush(ack) => {
                     let _ = ack.send(());
@@ -403,7 +489,9 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     shared.connections_active.fetch_sub(1, Ordering::Relaxed);
 }
 
-type ConnReader = FrameReader<BufReader<TcpStream>>;
+// `FrameReader` buffers socket reads itself (slicing many frames out
+// of one `read` call), so the read half needs no `BufReader`.
+type ConnReader = FrameReader<TcpStream>;
 type ConnWriter = FrameWriter<BufWriter<TcpStream>>;
 
 fn reply(writer: &mut ConnWriter, response: &Response) -> Result<(), String> {
@@ -422,7 +510,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Strin
     let read_half = stream
         .try_clone()
         .map_err(|e| format!("cannot clone the socket: {e}"))?;
-    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut reader = FrameReader::new(read_half);
     let mut writer = FrameWriter::new(BufWriter::new(stream));
 
     let first = match reader.next_frame_while(|| shared.keep_going()) {
@@ -476,13 +564,30 @@ fn handle_ingest(
     };
 
     let mut accepted = 0u64;
+    // Outcome of batch frames, settled by whichever workers decode
+    // them; folded into the ack after the end-of-stream flush round.
+    let progress = Arc::new(IngestProgress::default());
     // One reusable frame buffer per connection: after it has grown to
-    // the stream's largest report, the read loop performs no per-frame
-    // allocation (the decoded report itself is owned by the worker it
-    // is dispatched to).
+    // the stream's largest frame, the read loop performs no per-frame
+    // allocation for single-report frames (batch frames hand the
+    // buffer itself to a worker and start fresh).
     let mut frame = Vec::new();
     loop {
         match reader.next_frame_while_into(&mut frame, || shared.keep_going()) {
+            Ok(true) if frame.first() == Some(&tag::REPORT_BATCH) => {
+                // Envelope decode and absorption run on the worker;
+                // the handler only routes the raw payload, keeping the
+                // socket thread on pure frame I/O.
+                let payload = std::mem::take(&mut frame);
+                let slot = shared.next_worker.fetch_add(1, Ordering::Relaxed) % senders.len();
+                match senders.get(slot) {
+                    Some(sender)
+                        if sender
+                            .send(WorkerMsg::Batch(payload, Arc::clone(&progress)))
+                            .is_ok() => {}
+                    _ => return Ok(()), // workers torn down: shutting down
+                }
+            }
             Ok(true) => {
                 let report = match PipelineReport::from_bytes(&frame) {
                     Ok(report) if report.protocol_tag() == header.protocol => report,
@@ -514,14 +619,21 @@ fn handle_ingest(
             }
             Ok(false) => {
                 // Clean end-of-stream: flush every worker so the ack
-                // means "absorbed", not "enqueued".
+                // means "absorbed", not "enqueued". The flush round
+                // also settles every batch frame this connection
+                // enqueued, so `progress` is complete below.
                 for sender in &senders {
                     let (tx, rx) = mpsc::channel();
                     if sender.send(WorkerMsg::Flush(tx)).is_ok() {
                         let _ = rx.recv();
                     }
                 }
-                return reply(writer, &Response::Ingested(accepted));
+                if let Some(message) = progress.take_error() {
+                    reply(writer, &Response::Error(message.clone()))?;
+                    return Err(message);
+                }
+                let absorbed = accepted + progress.absorbed.load(Ordering::Relaxed);
+                return reply(writer, &Response::Ingested(absorbed));
             }
             Err(FrameError::Interrupted) => return Ok(()), // shutdown mid-stream
             Err(e) => {

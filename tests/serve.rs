@@ -10,9 +10,17 @@
 //! reference pipeline; the concurrent clients are raw `TcpStream`
 //! writers speaking the framed wire format directly, so the protocol is
 //! exercised by an implementation independent of `ldp_server::client`.
+//!
+//! The `REPORT_BATCH` (wire v2) path gets its own fault-injection
+//! layer: batched streams written to the socket in adversarial chunk
+//! sizes (down to one byte, splitting length prefixes), clients killed
+//! mid-batch-frame, and corrupt batch envelopes — in every case the
+//! server must keep exactly the complete frames it saw and end up
+//! byte-identical to serial ingest once the tail is resent.
 
 use ldp_core::frame::{FrameReader, FrameWriter, StreamHeader};
 use ldp_server::Response;
+use marginal_ldp::oracles::pipeline::encode_report_batch;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::path::{Path, PathBuf};
@@ -191,6 +199,22 @@ fn push_stream(addr: &str, header: &[u8], frames: &[Vec<u8>]) -> Response {
     writer.flush().unwrap();
     stream.shutdown(Shutdown::Write).unwrap();
     read_response(&stream)
+}
+
+/// Write raw stream bytes to a socket in adversarial chunk sizes
+/// (cycling `sizes`), flushing after every chunk, so the server's
+/// buffered `FrameReader` sees frame boundaries split at arbitrary
+/// byte offsets — inside length prefixes, mid-payload, everywhere.
+fn write_chunked(stream: &mut TcpStream, bytes: &[u8], sizes: &[usize]) {
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while start < bytes.len() {
+        let take = sizes[i % sizes.len()].max(1).min(bytes.len() - start);
+        stream.write_all(&bytes[start..start + take]).unwrap();
+        stream.flush().unwrap();
+        start += take;
+        i += 1;
+    }
 }
 
 /// A per-test scratch directory.
@@ -514,4 +538,244 @@ fn mid_stream_disconnect_keeps_complete_reports_only() {
     );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A batched (wire v2) stream pushed through adversarially chunked
+/// socket writes — one-byte writes, chunk splits inside length
+/// prefixes and mid-payload — is reassembled without tearing a single
+/// frame: the ack covers every report, and both the live snapshot and
+/// a serial `ingest` of the batched stream file are byte-identical to
+/// ingesting the equivalent unbatched stream.
+#[test]
+fn batched_stream_survives_adversarial_chunked_writes() {
+    let batched_dir = scratch("chunked_batched");
+    let single_dir = scratch("chunked_single");
+    let (_, _) = encoded_stream(&batched_dir, "MargPS", &["--batch", "7"], 200);
+    let (_, _) = encoded_stream(&single_dir, "MargPS", &[], 200);
+    let batched_bytes = std::fs::read(batched_dir.join("stream.bin")).unwrap();
+    let server = ServerProc::start(&[]);
+
+    // The whole framed stream, dribbled onto the socket in chunks that
+    // ignore every frame boundary (the leading 1s split the very first
+    // length prefix).
+    let mut stream = client_socket(&server.addr);
+    write_chunked(
+        &mut stream,
+        &batched_bytes,
+        &[1, 1, 2, 3, 5, 7, 11, 1, 64, 1024],
+    );
+    stream.shutdown(Shutdown::Write).unwrap();
+    match read_response(&stream) {
+        Response::Ingested(200) => {}
+        other => panic!("chunked batched stream got {other:?}"),
+    }
+
+    let live_path = batched_dir.join("live.bin");
+    run_cli(
+        &[
+            "snapshot",
+            "--connect",
+            &server.addr,
+            "--output",
+            live_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    server.shutdown();
+
+    // Serial ingest of the batched file and of the unbatched stream of
+    // the same population agree with the served state: batch framing is
+    // a pure re-chunking.
+    let serial_batched = run_cli(&["ingest"], Some(&batched_bytes));
+    let serial_single = run_cli(
+        &["ingest"],
+        Some(&std::fs::read(single_dir.join("stream.bin")).unwrap()),
+    );
+    let live = std::fs::read(&live_path).unwrap();
+    assert_eq!(
+        live, serial_batched,
+        "served batched snapshot differs from serial ingest of the batched stream"
+    );
+    assert_eq!(
+        serial_batched, serial_single,
+        "batched stream ingests differently from the unbatched stream"
+    );
+    let _ = std::fs::remove_dir_all(&batched_dir);
+    let _ = std::fs::remove_dir_all(&single_dir);
+}
+
+/// A client killed in the middle of a `REPORT_BATCH` frame loses only
+/// that torn frame: every complete batch stays absorbed, and resending
+/// the unacknowledged batches converges to the serial-ingest bytes.
+#[test]
+fn mid_batch_disconnect_keeps_complete_batches_only() {
+    let dir = scratch("batch_disconnect");
+    let (header, frames) = encoded_stream(&dir, "MargPS", &["--batch", "5"], 100);
+    assert_eq!(frames.len(), 20, "expected 20 batch frames of 5 reports");
+    let server = ServerProc::start(&[]);
+
+    // Header, two complete batch frames (10 reports), then a torn
+    // third: full length prefix, half the envelope payload, gone.
+    {
+        let stream = client_socket(&server.addr);
+        let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+        writer.write_frame(&header).unwrap();
+        for frame in &frames[..2] {
+            writer.write_frame(frame).unwrap();
+        }
+        writer.flush().unwrap();
+        let partial = &frames[2][..frames[2].len() / 2];
+        let mut raw = writer.into_inner();
+        raw.write_all(&(frames[2].len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(partial).unwrap();
+        raw.flush().unwrap();
+    }
+
+    // Exactly the two complete batches land.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats =
+            String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+        if stats.contains("reports: 10 absorbed") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never settled at 10 reports:\n{stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Resend everything unacknowledged (batches 2..) and compare with
+    // serial ingest of the full batched stream.
+    match push_stream(&server.addr, &header, &frames[2..]) {
+        Response::Ingested(n) => assert_eq!(n, 90),
+        other => panic!("batch resend got {other:?}"),
+    }
+    let live_path = dir.join("live.bin");
+    run_cli(
+        &[
+            "snapshot",
+            "--connect",
+            &server.addr,
+            "--output",
+            live_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let serial = run_cli(
+        &["ingest"],
+        Some(&std::fs::read(dir.join("stream.bin")).unwrap()),
+    );
+    assert_eq!(
+        std::fs::read(&live_path).unwrap(),
+        serial,
+        "post-mid-batch-disconnect snapshot differs from serial ingest"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The batch decode-error matrix over the wire: a count prefix that
+/// cannot fit the payload, a future envelope version, and a batch of
+/// reports from the wrong protocol are each rejected with a named
+/// error on the ack — and the server keeps serving, with every
+/// complete good batch it saw still absorbed.
+#[test]
+fn corrupt_batch_frames_are_rejected_on_the_ack() {
+    let dir = scratch("batch_corrupt");
+    let (header, frames) = encoded_stream(&dir, "MargPS", &["--batch", "4"], 40);
+    let server = ServerProc::start(&[]);
+
+    // Count overshoot: claims 1000 reports, payload holds 4.
+    let mut forged = frames[0].clone();
+    forged[2..6].copy_from_slice(&1000u32.to_le_bytes());
+    match push_stream(&server.addr, &header, std::slice::from_ref(&forged)) {
+        Response::Error(message) => {
+            assert!(message.contains("bad report batch frame"), "{message}");
+        }
+        other => panic!("count-overshoot batch got {other:?}"),
+    }
+
+    // Future envelope version: rejected cleanly, not mis-decoded.
+    let mut forged = frames[0].clone();
+    forged[1] = 0x7F;
+    match push_stream(&server.addr, &header, std::slice::from_ref(&forged)) {
+        Response::Error(message) => {
+            assert!(message.contains("unsupported wire version"), "{message}");
+        }
+        other => panic!("future-version batch got {other:?}"),
+    }
+
+    // A batch whose reports belong to another protocol.
+    let (_, alien) = encoded_stream(&dir, "MargHT", &["--batch", "4"], 4);
+    match push_stream(&server.addr, &header, &alien) {
+        Response::Error(message) => assert!(message.contains("mixes protocols"), "{message}"),
+        other => panic!("cross-protocol batch got {other:?}"),
+    }
+
+    // An empty batch frame is legal and absorbs nothing.
+    let empty: [&[u8]; 0] = [];
+    match push_stream(&server.addr, &header, &[encode_report_batch(&empty)]) {
+        Response::Ingested(0) => {}
+        other => panic!("empty batch got {other:?}"),
+    }
+
+    // Through all of that the server kept serving; the good stream
+    // still lands in full.
+    match push_stream(&server.addr, &header, &frames) {
+        Response::Ingested(40) => {}
+        other => panic!("good batched stream got {other:?}"),
+    }
+    let stats = String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+    assert!(stats.contains("reports: 40 absorbed"), "{stats}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One connection may mix wire-v1 single-report frames and wire-v2
+/// batch frames freely: the ack counts every report once and the
+/// result is byte-identical to serial ingest.
+#[test]
+fn mixed_single_and_batch_frames_coexist_on_one_stream() {
+    let batched_dir = scratch("mixed_batched");
+    let single_dir = scratch("mixed_single");
+    let (header, batch_frames) = encoded_stream(&batched_dir, "MargPS", &["--batch", "6"], 60);
+    let (_, single_frames) = encoded_stream(&single_dir, "MargPS", &[], 60);
+    assert_eq!(batch_frames.len(), 10);
+    let server = ServerProc::start(&[]);
+
+    // First half as batch frames (reports 0..30), second half as
+    // single-report frames (reports 30..60).
+    let mut mixed: Vec<Vec<u8>> = batch_frames[..5].to_vec();
+    mixed.extend_from_slice(&single_frames[30..]);
+    match push_stream(&server.addr, &header, &mixed) {
+        Response::Ingested(60) => {}
+        other => panic!("mixed stream got {other:?}"),
+    }
+
+    let live_path = batched_dir.join("live.bin");
+    run_cli(
+        &[
+            "snapshot",
+            "--connect",
+            &server.addr,
+            "--output",
+            live_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    server.shutdown();
+    let serial = run_cli(
+        &["ingest"],
+        Some(&std::fs::read(single_dir.join("stream.bin")).unwrap()),
+    );
+    assert_eq!(
+        std::fs::read(&live_path).unwrap(),
+        serial,
+        "mixed-frame snapshot differs from serial ingest"
+    );
+    let _ = std::fs::remove_dir_all(&batched_dir);
+    let _ = std::fs::remove_dir_all(&single_dir);
 }

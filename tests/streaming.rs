@@ -9,8 +9,12 @@
 //! which is what lets independent collector processes aggregate a
 //! population and combine their states in any topology.
 
+use marginal_ldp::core::frame::StreamHeader;
 use marginal_ldp::core::user_rng;
-use marginal_ldp::oracles::{OracleAccumulator, OracleKind, OracleReport};
+use marginal_ldp::oracles::pipeline::{
+    decode_report_batch_into, encode_report_batch, Client, PipelineAccumulator, PipelineReport,
+};
+use marginal_ldp::oracles::{oracle_header, OracleAccumulator, OracleKind, OracleReport};
 use marginal_ldp::prelude::*;
 use proptest::prelude::*;
 
@@ -181,6 +185,74 @@ proptest! {
                 &serial.to_bytes(),
                 "{} type-erased batched ingest diverged",
                 kind.name()
+            );
+        }
+    }
+
+    /// `REPORT_BATCH` framing (wire v2) is a pure re-chunking of the
+    /// report stream: for **every** protocol tag (the seven mechanisms
+    /// and the three oracles) and any random batch-size sequence —
+    /// empty and singleton batches included — decoding the batch
+    /// frames yields reports byte-identical to the single-report
+    /// framing of the same sequence, and absorbing them batch-by-batch
+    /// produces accumulator state byte-identical to serial ingest.
+    #[test]
+    fn batch_frames_decode_identical_to_singles(
+        n in 0usize..120,
+        seed in 0u64..1_000,
+        sizes in proptest::collection::vec(0usize..33, 1..8),
+    ) {
+        let mut headers: Vec<StreamHeader> = ALL_KINDS
+            .iter()
+            .map(|&kind| StreamHeader::mechanism(kind, 4, 2, 1.1))
+            .collect();
+        headers.extend(
+            OracleKind::ALL
+                .iter()
+                .map(|&kind| oracle_header(kind, 6, 1.1, 3, 16, 9)),
+        );
+        for header in headers {
+            let client = Client::from_header(&header).unwrap();
+            let domain = 1u64 << header.d;
+            let reports: Vec<PipelineReport> = (0..n as u64)
+                .map(|u| client.encode((u * 37 + seed) % domain, &mut user_rng(seed, u)))
+                .collect();
+            let singles: Vec<Vec<u8>> = reports.iter().map(PipelineReport::to_bytes).collect();
+
+            // Re-chunk the stream: each random size becomes one
+            // REPORT_BATCH frame (size 0 → an empty batch frame), and
+            // whatever is left over lands in one final batch.
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            let mut start = 0usize;
+            for &size in &sizes {
+                let take = size.min(singles.len() - start);
+                frames.push(encode_report_batch(&singles[start..start + take]));
+                start += take;
+            }
+            frames.push(encode_report_batch(&singles[start..]));
+
+            let mut serial = PipelineAccumulator::empty(&header).unwrap();
+            for report in &reports {
+                serial.absorb(report).unwrap();
+            }
+
+            let mut batched = PipelineAccumulator::empty(&header).unwrap();
+            let mut scratch: Vec<PipelineReport> = Vec::new();
+            let mut decoded: Vec<PipelineReport> = Vec::new();
+            for frame in &frames {
+                let m = decode_report_batch_into(frame, &mut scratch).unwrap();
+                batched.absorb_batch(&scratch[..m]).unwrap();
+                decoded.extend_from_slice(&scratch[..m]);
+            }
+
+            prop_assert_eq!(&decoded, &reports, "protocol {:#04x}", header.protocol);
+            let rebuilt: Vec<Vec<u8>> = decoded.iter().map(PipelineReport::to_bytes).collect();
+            prop_assert_eq!(&rebuilt, &singles, "protocol {:#04x}", header.protocol);
+            prop_assert_eq!(
+                &batched.to_bytes(),
+                &serial.to_bytes(),
+                "protocol {:#04x}: batch-framed state diverged from serial ingest",
+                header.protocol
             );
         }
     }
