@@ -209,37 +209,65 @@ pub fn ingest(flags: &Flags) -> Result<(), String> {
 /// `merge`: combine N snapshots of the same pipeline into one.
 pub fn merge(flags: &Flags) -> Result<(), String> {
     let inputs = flags.positional();
-    if inputs.is_empty() {
-        return Err("merge needs at least one snapshot path".to_string());
+    // `--connect a:1,b:2`: pull the live merged snapshot from running
+    // collectors over the control plane and fold them in alongside any
+    // snapshot files — the offline half of federation (the online half
+    // is `serve --upstream`).
+    let remotes: Vec<&str> = flags
+        .get("connect")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    if inputs.is_empty() && remotes.is_empty() {
+        return Err("merge needs at least one snapshot path or --connect address".to_string());
     }
-    let mut merged: Option<(StreamHeader, PipelineAccumulator)> = None;
+    let mut sources: Vec<(String, StreamHeader, Vec<u8>)> = Vec::new();
     for path in inputs {
         let (header, state) =
             read_snapshot(open_input(path)?).map_err(|e| format!("{path}: {e}"))?;
-        let acc =
-            PipelineAccumulator::from_state(&header, &state).map_err(|e| format!("{path}: {e}"))?;
+        sources.push((path.clone(), header, state));
+    }
+    for addr in remotes {
+        let mut control = Control::connect(addr)?;
+        match control
+            .request(&Request::Snapshot)
+            .map_err(|e| format!("{addr}: {e}"))?
+        {
+            Response::Snapshot { header, state } => sources.push((addr.to_string(), header, state)),
+            other => return Err(format!("{addr}: unexpected snapshot response: {other:?}")),
+        }
+    }
+    let total = sources.len();
+    let mut merged: Option<(String, StreamHeader, PipelineAccumulator)> = None;
+    for (source, header, state) in sources {
+        let acc = PipelineAccumulator::from_state(&header, &state)
+            .map_err(|e| format!("{source}: {e}"))?;
         merged = Some(match merged {
-            None => (header, acc),
-            Some((base_header, mut base)) => {
+            None => (source, header, acc),
+            Some((first, base_header, mut base)) => {
                 if header != base_header {
                     return Err(format!(
-                        "{path}: snapshot header differs from {} — refusing to merge \
-                         partial aggregates of different pipelines",
-                        inputs[0]
+                        "{source}: snapshot header differs from {first} — refusing to merge \
+                         partial aggregates of different pipelines"
                     ));
                 }
-                base.merge(acc).map_err(|e| format!("{path}: {e}"))?;
-                (base_header, base)
+                base.merge(acc).map_err(|e| format!("{source}: {e}"))?;
+                (first, base_header, base)
             }
         });
     }
-    let (header, acc) = merged.expect("at least one snapshot");
+    let Some((_, header, acc)) = merged else {
+        return Err("merge needs at least one snapshot".to_string());
+    };
     let state = acc.to_bytes();
     let out = open_output(flags.get("output").unwrap_or("-"))?;
     write_snapshot(out, &header, &state).map_err(|e| e.to_string())?;
     eprintln!(
-        "merged {} snapshots: {} reports, {} state bytes",
-        inputs.len(),
+        "merged {total} snapshots: {} reports, {} state bytes",
         acc.report_count(),
         state.len()
     );

@@ -51,6 +51,8 @@ BATCH SUBCOMMANDS
           --input PATH (-) --output PATH (-)
   merge   Combine N snapshots of the same pipeline into one.
           --output PATH (-)  snapshot paths as positional arguments
+          --connect A1,A2 (also pull live snapshots from running
+          collectors and fold them in)
   query   Finalize a snapshot (or a live server) into estimates.
           --input PATH (-) | --connect ADDR   --format csv|json (csv) --normalize
           --marginal 0,3 (mechanisms: one marginal instead of all k-way)
@@ -66,6 +68,16 @@ SERVING SUBCOMMANDS
           --listen ADDR (127.0.0.1:7878; port 0 picks a free port — the
           bound address is the first stderr line) --shards W (cores)
           --output PATH (write the final snapshot on shutdown)
+          --upstream ADDR (relay mode: push the merged snapshot to a
+          parent collector periodically, on every snapshot request,
+          and at shutdown — builds federation trees)
+          --push-every MS (5000; periodic push interval)
+          --id NAME (collector identity pushed upstream; defaults to
+          the checkpoint's id, else the bound address)
+          --checkpoint PATH (recover it at startup if present; rewrite
+          it per --checkpoint-every and at shutdown)
+          --checkpoint-every N (50000; checkpoint once ≥N reports have
+          been absorbed since the last one, checked at ingest acks)
   load    Drive a server with concurrent clients (traffic generator).
           --connect ADDR (required) --protocol NAME (required)
           --clients C (4) --reports M (2500; per client)
@@ -140,7 +152,7 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
             commands::ingest(&f)
         }
         "merge" => {
-            let f = Flags::parse(rest, &["output"], &[])?;
+            let f = Flags::parse(rest, &["output", "connect"], &[])?;
             commands::merge(&f)
         }
         "query" => {
@@ -160,7 +172,20 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
             commands::bench(&f)
         }
         "serve" => {
-            let f = Flags::parse(rest, &["listen", "shards", "output"], &[])?;
+            let f = Flags::parse(
+                rest,
+                &[
+                    "listen",
+                    "shards",
+                    "output",
+                    "upstream",
+                    "push-every",
+                    "id",
+                    "checkpoint",
+                    "checkpoint-every",
+                ],
+                &[],
+            )?;
             serve::serve(&f)
         }
         "load" => {

@@ -8,20 +8,40 @@ use ldp_bench::DataSource;
 use ldp_core::frame::write_snapshot;
 use ldp_core::user_rng;
 use ldp_oracles::pipeline::{header_for, Client, Protocol, SketchShape};
-use ldp_server::{push_report_batches, Control, Request, Response, Server};
-use std::time::Instant;
+use ldp_server::{push_report_batches, Control, Request, Response, ServeConfig, Server};
+use std::time::{Duration, Instant};
 
 /// `serve`: run the aggregation server until a graceful-shutdown
-/// request arrives.
+/// request arrives. With `--upstream` the server is a relay node of a
+/// federation tree; with `--checkpoint` it survives crashes (see the
+/// federation runbook in `docs/OPERATIONS.md`).
 pub fn serve(flags: &Flags) -> Result<(), String> {
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7878");
     let default_shards =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let shards: usize = flags.parsed("shards", default_shards)?;
-    let server = Server::bind(listen, shards)?;
+    let mut config = ServeConfig::new(listen, shards);
+    config.upstream = flags.get("upstream").map(str::to_string);
+    config.push_every = Duration::from_millis(flags.parsed("push-every", 5_000u64)?);
+    config.collector = flags.get("id").map(str::to_string);
+    config.checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
+    config.checkpoint_every = flags.parsed("checkpoint-every", 50_000u64)?;
+    if config.upstream.is_none() && flags.get("push-every").is_some() {
+        return Err("--push-every needs --upstream".to_string());
+    }
+    if config.checkpoint.is_none() && flags.get("checkpoint-every").is_some() {
+        return Err("--checkpoint-every needs --checkpoint".to_string());
+    }
+    let server = Server::bind_with(&config)?;
     // First stderr line, machine-parseable: `--listen 127.0.0.1:0` asks
     // the OS for a free port, and this is where the caller learns it.
     eprintln!("serving on {} ({} shards)", server.local_addr()?, shards);
+    if let Some(recovery) = server.recovery() {
+        eprintln!(
+            "recovered checkpoint: {} reports, push epoch {}, {} downstream collectors",
+            recovery.reports, recovery.epoch, recovery.downstream
+        );
+    }
     let summary = server.run()?;
     eprintln!(
         "shutdown: absorbed {} reports over {} connections",

@@ -69,6 +69,13 @@ pub mod tag {
     /// serve ingest path (`docs/WIRE_FORMAT.md` §5.1).
     pub const REPORT_BATCH: u8 = 0x41;
 
+    /// A collector checkpoint (wire v3): the collector's identity and
+    /// push epoch, its local merged accumulator state, and the latest
+    /// snapshot each downstream collector pushed — everything a
+    /// restarted `ldp-cli serve --checkpoint` needs to resume exactly
+    /// where it crashed (`docs/WIRE_FORMAT.md` §6.1).
+    pub const CHECKPOINT: u8 = 0x42;
+
     // Aggregation-server control plane (`ldp_server`): request frames a
     // client sends over a control connection (0x50–0x57) and the
     // response frames the server answers with (0x58–0x5F). One request
@@ -82,6 +89,11 @@ pub mod tag {
     pub const REQ_STATS: u8 = 0x52;
     /// Request: graceful shutdown.
     pub const REQ_SHUTDOWN: u8 = 0x53;
+    /// Request (wire v3): a downstream collector pushes its merged
+    /// snapshot upstream — collector id, monotonic push epoch, header,
+    /// and state. The upstream *replaces* its previous snapshot from
+    /// the same collector, so a retried push is idempotent.
+    pub const REQ_PUSH: u8 = 0x54;
 
     /// Response to [`REQ_SNAPSHOT`].
     pub const RESP_SNAPSHOT: u8 = 0x58;
@@ -94,15 +106,21 @@ pub mod tag {
     /// Ingest acknowledgement: sent once after a report stream reaches
     /// a clean end-of-stream and every report has been absorbed.
     pub const RESP_INGEST: u8 = 0x5C;
+    /// Response to [`REQ_PUSH`] (wire v3): whether the pushed snapshot
+    /// was applied (0 = stale epoch, ignored) and the latest epoch the
+    /// upstream now holds for that collector.
+    pub const RESP_PUSH: u8 = 0x5D;
     /// Error response to any request (or to a malformed first frame).
     pub const RESP_ERROR: u8 = 0x5F;
 }
 
 /// The current wire-format version. Writers always emit it.
 ///
-/// v2 added the [`tag::REPORT_BATCH`] envelope; every field layout of
-/// v1 is unchanged, so v1 blobs decode as-is (see [`MIN_VERSION`]).
-pub const VERSION: u8 = 2;
+/// v2 added the [`tag::REPORT_BATCH`] envelope; v3 adds the federation
+/// frames ([`tag::REQ_PUSH`], [`tag::RESP_PUSH`], [`tag::CHECKPOINT`]).
+/// Every field layout of v1 is unchanged, so v1 blobs decode as-is
+/// (see [`MIN_VERSION`]).
+pub const VERSION: u8 = 3;
 
 /// The oldest wire-format version this build still decodes. Readers
 /// accept any version in `MIN_VERSION..=`[`VERSION`] and reject

@@ -5,10 +5,54 @@ use crate::protocol::{Request, Response};
 use ldp_core::frame::{FrameError, FrameReader, FrameWriter, StreamHeader};
 use ldp_oracles::pipeline::encode_report_batch;
 use std::io::BufWriter;
-use std::net::{Shutdown, TcpStream};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default bound on establishing a TCP connection. A dead or
+/// unroutable peer (a crashed upstream collector, a typo'd `--connect`)
+/// fails fast with a named error instead of hanging for the OS default
+/// (minutes on most platforms) — fleet tests and CI depend on this.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default bound on any single socket read/write making no progress.
+/// Generous enough for a snapshot of any realistic state size over
+/// loopback or LAN; a peer that goes silent mid-response surfaces as a
+/// timed-out I/O error rather than a hung client.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Connect with [`CONNECT_TIMEOUT`] and arm both socket directions
+/// with `io_timeout`. `TcpStream::connect_timeout` needs a resolved
+/// address, so resolution errors and per-address failures are folded
+/// into one named error.
+fn connect_within(
+    addr: &str,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+) -> Result<TcpStream, String> {
+    let addrs = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?;
+    let mut last_error = None;
+    for resolved in addrs {
+        match TcpStream::connect_timeout(&resolved, connect_timeout) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(io_timeout))
+                    .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+                    .map_err(|e| format!("cannot configure the socket: {e}"))?;
+                return Ok(stream);
+            }
+            Err(e) => last_error = Some(e),
+        }
+    }
+    Err(match last_error {
+        Some(e) => format!("cannot connect to {addr}: {e}"),
+        None => format!("cannot connect to {addr}: address resolved to nothing"),
+    })
+}
 
 fn connect(addr: &str) -> Result<TcpStream, String> {
-    TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    connect_within(addr, CONNECT_TIMEOUT, IO_TIMEOUT)
 }
 
 type PushWriter = FrameWriter<BufWriter<TcpStream>>;
@@ -105,9 +149,22 @@ pub struct Control {
 }
 
 impl Control {
-    /// Open a control connection to a running server.
+    /// Open a control connection to a running server, bounded by the
+    /// default [`CONNECT_TIMEOUT`] and [`IO_TIMEOUT`] — a dead peer
+    /// fails fast instead of hanging the caller.
     pub fn connect(addr: &str) -> Result<Control, String> {
-        let stream = connect(addr)?;
+        Control::connect_within(addr, CONNECT_TIMEOUT, IO_TIMEOUT)
+    }
+
+    /// Open a control connection with explicit connect and I/O
+    /// timeouts (the relay loop uses tighter bounds than the default
+    /// so a dead upstream costs one backoff step, not half a minute).
+    pub fn connect_within(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> Result<Control, String> {
+        let stream = connect_within(addr, connect_timeout, io_timeout)?;
         stream
             .set_nodelay(true)
             .map_err(|e| format!("cannot configure the socket: {e}"))?;

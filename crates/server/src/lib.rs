@@ -19,21 +19,35 @@
 //!   ingestion across a worker pool of per-thread accumulators;
 //! * [`client`] — blocking client helpers ([`client::push_reports`],
 //!   [`client::Control`]) used by `ldp-cli load` / `snapshot` / `stats`
-//!   / `query --connect` and by the `serve` bench scenario.
+//!   / `query --connect` and by the `serve` bench scenario;
+//! * [`relay`] — the collector checkpoint file (wire v3) behind
+//!   `serve --checkpoint`, so a crashed collector resumes where its
+//!   last checkpoint left it.
+//!
+//! Servers federate into aggregation trees (wire v3): a collector
+//! started with an upstream address periodically pushes its merged
+//! snapshot one hop up ([`protocol::PushRequest`]); the upstream keeps
+//! the latest push per downstream collector and *replaces* it on every
+//! re-push, so the at-least-once relay never double-counts. See
+//! `docs/WIRE_FORMAT.md` §7.3 and the federation runbook in
+//! `docs/OPERATIONS.md`.
 //!
 //! The server's correctness contract is the `Accumulator`
 //! partition-invariance law: however concurrent connections interleave
 //! and however reports land on workers, merging the worker states in
 //! worker order yields accumulator state **byte-identical** to a serial
 //! single-process ingest of the same reports (proved end-to-end against
-//! the real binary by `tests/serve.rs`). The byte-level encoding of
-//! every frame is specified in `docs/WIRE_FORMAT.md`; operational
-//! guidance lives in `docs/OPERATIONS.md`.
+//! the real binary by `tests/serve.rs`, and across whole process trees
+//! by `tests/federation.rs`). The byte-level encoding of every frame is
+//! specified in `docs/WIRE_FORMAT.md`; operational guidance lives in
+//! `docs/OPERATIONS.md`.
 
 pub mod client;
 pub mod protocol;
+pub mod relay;
 pub mod server;
 
 pub use client::{push_report_batches, push_reports, Control};
-pub use protocol::{QueryRequest, QueryTarget, Request, Response, ServerStats};
-pub use server::{Server, ServerSummary};
+pub use protocol::{PushRequest, QueryRequest, QueryTarget, Request, Response, ServerStats};
+pub use relay::{read_checkpoint, write_checkpoint, Checkpoint, DownstreamEntry};
+pub use server::{Recovery, ServeConfig, Server, ServerSummary};

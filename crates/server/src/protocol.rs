@@ -31,8 +31,25 @@ pub struct QueryRequest {
     pub normalize: bool,
 }
 
+/// A [`Request::Push`] body: a downstream collector's cumulative
+/// snapshot, pushed up the aggregation tree (wire v3; semantics in
+/// `docs/WIRE_FORMAT.md` §7.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushRequest {
+    /// The pushing collector's stable identity (UTF-8). The upstream
+    /// keeps one snapshot per collector id and replaces it on re-push.
+    pub collector: String,
+    /// Monotonic push epoch: a push with an epoch below the upstream's
+    /// latest for this collector is stale and ignored.
+    pub epoch: u64,
+    /// The pushing collector's established pipeline header.
+    pub header: StreamHeader,
+    /// Its full merged accumulator state (`Accumulator::to_bytes`).
+    pub state: Vec<u8>,
+}
+
 /// One control-plane request frame.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// The live merged snapshot ([`tag::REQ_SNAPSHOT`]).
     Snapshot,
@@ -42,6 +59,9 @@ pub enum Request {
     Stats,
     /// Graceful shutdown ([`tag::REQ_SHUTDOWN`]).
     Shutdown,
+    /// A downstream collector pushes its merged snapshot
+    /// ([`tag::REQ_PUSH`], wire v3).
+    Push(PushRequest),
 }
 
 impl Request {
@@ -63,6 +83,14 @@ impl Request {
             }
             Request::Stats => Writer::with_tag(tag::REQ_STATS).into_bytes(),
             Request::Shutdown => Writer::with_tag(tag::REQ_SHUTDOWN).into_bytes(),
+            Request::Push(p) => {
+                let mut w = Writer::with_tag(tag::REQ_PUSH);
+                w.put_bytes(p.collector.as_bytes());
+                w.put_u64(p.epoch);
+                w.put_bytes(&p.header.to_bytes());
+                w.put_bytes(&p.state);
+                w.into_bytes()
+            }
         }
     }
 
@@ -97,6 +125,22 @@ impl Request {
             Some(tag::REQ_SHUTDOWN) => {
                 Reader::with_tag(bytes, tag::REQ_SHUTDOWN)?.finish()?;
                 Ok(Request::Shutdown)
+            }
+            Some(tag::REQ_PUSH) => {
+                let mut r = Reader::with_tag(bytes, tag::REQ_PUSH)?;
+                let collector = String::from_utf8(r.get_bytes()?)
+                    .map_err(|_| WireError::Invalid("push collector id is not UTF-8"))?;
+                let epoch = r.get_u64()?;
+                let header_bytes = r.get_bytes()?;
+                let state = r.get_bytes()?;
+                r.finish()?;
+                let header = StreamHeader::from_bytes(&header_bytes)?;
+                Ok(Request::Push(PushRequest {
+                    collector,
+                    epoch,
+                    header,
+                    state,
+                }))
             }
             _ => Err(WireError::Invalid("unknown request tag")),
         }
@@ -145,6 +189,16 @@ pub enum Response {
     /// Ingest stream acknowledged; `reports` absorbed from this
     /// connection ([`tag::RESP_INGEST`]).
     Ingested(u64),
+    /// Verdict on a snapshot push ([`tag::RESP_PUSH`], wire v3).
+    Push {
+        /// Whether the pushed snapshot replaced the held one (`false`:
+        /// the epoch was stale and nothing changed).
+        applied: bool,
+        /// The latest epoch the upstream now holds for this collector
+        /// (the pushed epoch when `applied`; on a stale push, the
+        /// value to fast-forward past).
+        latest_epoch: u64,
+    },
     /// The request (or stream) was rejected ([`tag::RESP_ERROR`]).
     Error(String),
 }
@@ -187,6 +241,15 @@ impl Response {
             Response::Ingested(reports) => {
                 let mut w = Writer::with_tag(tag::RESP_INGEST);
                 w.put_u64(*reports);
+                w.into_bytes()
+            }
+            Response::Push {
+                applied,
+                latest_epoch,
+            } => {
+                let mut w = Writer::with_tag(tag::RESP_PUSH);
+                w.put_u8(u8::from(*applied));
+                w.put_u64(*latest_epoch);
                 w.into_bytes()
             }
             Response::Error(message) => {
@@ -246,6 +309,20 @@ impl Response {
                 r.finish()?;
                 Ok(Response::Ingested(reports))
             }
+            Some(tag::RESP_PUSH) => {
+                let mut r = Reader::with_tag(bytes, tag::RESP_PUSH)?;
+                let applied = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Invalid("push applied flag")),
+                };
+                let latest_epoch = r.get_u64()?;
+                r.finish()?;
+                Ok(Response::Push {
+                    applied,
+                    latest_epoch,
+                })
+            }
             Some(tag::RESP_ERROR) => {
                 let mut r = Reader::with_tag(bytes, tag::RESP_ERROR)?;
                 let message = r.get_bytes()?;
@@ -278,6 +355,18 @@ mod tests {
             }),
             Request::Stats,
             Request::Shutdown,
+            Request::Push(PushRequest {
+                collector: "edge-1".to_string(),
+                epoch: 7,
+                header: StreamHeader::mechanism(MechanismKind::MargPs, 8, 2, 1.1),
+                state: vec![5, 1, 2, 3],
+            }),
+            Request::Push(PushRequest {
+                collector: String::new(),
+                epoch: 0,
+                header: StreamHeader::mechanism(MechanismKind::MargPs, 8, 2, 1.1),
+                state: Vec::new(),
+            }),
         ];
         for req in all {
             assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
@@ -319,11 +408,47 @@ mod tests {
             }),
             Response::Shutdown(1000),
             Response::Ingested(250),
+            Response::Push {
+                applied: true,
+                latest_epoch: 7,
+            },
+            Response::Push {
+                applied: false,
+                latest_epoch: u64::MAX,
+            },
             Response::Error("no report stream has been ingested yet".to_string()),
         ];
         for resp in all {
             assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }
         assert!(Response::from_bytes(&[0x7E, 1]).is_err());
+    }
+
+    #[test]
+    fn push_frames_reject_malformed_bodies() {
+        let good = Request::Push(PushRequest {
+            collector: "edge".to_string(),
+            epoch: 3,
+            header: StreamHeader::mechanism(MechanismKind::MargPs, 8, 2, 1.1),
+            state: vec![5, 1],
+        });
+        let bytes = good.to_bytes();
+        // Truncation anywhere in the body is rejected.
+        for cut in 2..bytes.len() {
+            assert!(Request::from_bytes(bytes.get(..cut).unwrap()).is_err());
+        }
+        // A push ack with an out-of-range applied flag is rejected.
+        let mut bad = Response::Push {
+            applied: true,
+            latest_epoch: 1,
+        }
+        .to_bytes();
+        if let Some(flag) = bad.get_mut(2) {
+            *flag = 2;
+        }
+        assert_eq!(
+            Response::from_bytes(&bad),
+            Err(WireError::Invalid("push applied flag"))
+        );
     }
 }
