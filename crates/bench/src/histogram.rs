@@ -1,0 +1,343 @@
+//! HDR-style log-bucketed latency histogram for the load generator.
+//!
+//! Values (nanoseconds) below 32 land in exact unit buckets; above
+//! that, each power-of-two octave is split into 16 sub-buckets, so any
+//! recorded value is attributed to a bucket whose upper bound is within
+//! ~6.25% of it — constant relative error across the full range, like
+//! HdrHistogram, with a fixed ~1 KiB footprint and O(1) `record`.
+//! Histograms from concurrent workers merge by bucket-wise addition,
+//! so per-thread recording needs no locks.
+
+/// Unit buckets cover `[0, LINEAR)`; log buckets take over above.
+const LINEAR: u64 = 32;
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 16;
+/// Bucket count covering the full `u64` range.
+const BUCKETS: usize = LINEAR as usize + (64 - 5) * SUBS;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds by
+/// convention).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // ≥ 5
+        let shift = msb - 4;
+        let sub = ((v >> shift) & 15) as usize;
+        LINEAR as usize + ((msb - 5) * SUBS) + sub
+        // msb = 5 (v ∈ [32, 64)) starts right after the unit buckets;
+        // sub-bucket width doubles with each octave.
+    }
+}
+
+/// Inclusive upper bound of a bucket — the value reported for any
+/// quantile that lands in it (≤ 6.25% above the true sample).
+fn bucket_upper(index: usize) -> u64 {
+    if (index as u64) < LINEAR {
+        index as u64
+    } else {
+        let li = index - LINEAR as usize;
+        let octave = li / SUBS; // msb - 5
+        let sub = (li % SUBS) as u64;
+        ((16 + sub + 1) << (octave + 1)) - 1
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0u64; BUCKETS],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v).min(BUCKETS - 1);
+        if let Some(slot) = self.counts.get_mut(i) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += u128::from(v);
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, not bucketized).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest sample — within ~6.25% above
+    /// the true order statistic. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Never report beyond the observed maximum (the top
+                // bucket's bound can overshoot it).
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+
+    /// The histogram as a JSON object (nanosecond units), embedding the
+    /// standard quantiles and the non-empty buckets:
+    /// `{"count": …, "min_ns": …, "max_ns": …, "mean_ns": …,
+    ///   "p50_ns": …, "p90_ns": …, "p99_ns": …, "p999_ns": …,
+    ///   "buckets": [{"le_ns": …, "count": …}, …]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let buckets = self
+            .buckets()
+            .iter()
+            .map(|(le, c)| format!("{{\"le_ns\": {le}, \"count\": {c}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"count\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.1}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"buckets\": [{buckets}]}}",
+            self.count(),
+            self.min(),
+            self.max(),
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// One human-readable summary line: count, min/mean/max and the
+    /// standard quantiles, with adaptive time units.
+    #[must_use]
+    pub fn render(&self, label: &str) -> String {
+        format!(
+            "{label}: count={} min={} mean={} p50={} p90={} p99={} p99.9={} max={}",
+            self.count(),
+            fmt_ns(self.min()),
+            fmt_ns(self.mean() as u64),
+            fmt_ns(self.quantile(0.50)),
+            fmt_ns(self.quantile(0.90)),
+            fmt_ns(self.quantile(0.99)),
+            fmt_ns(self.quantile(0.999)),
+            fmt_ns(self.max()),
+        )
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut last = None;
+        for v in 0..100_000u64 {
+            let i = bucket_index(v);
+            if let Some(l) = last {
+                assert!(i == l || i == l + 1, "index jumped {l} -> {i} at {v}");
+            }
+            assert!(v <= bucket_upper(i), "v={v} above its bucket bound");
+            last = Some(i);
+        }
+        // Spot-check the huge range too.
+        for shift in 20..63 {
+            let v = 1u64 << shift;
+            assert!(v <= bucket_upper(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LogHistogram::new();
+        let mut samples: Vec<u64> = (0..10_000u64).map(|i| 1_000 + i * 137).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            let truth = samples[idx] as f64;
+            let est = h.quantile(q) as f64;
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(est <= truth * 1.0701, "q={q}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_threshold() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for i in 0..5_000u64 {
+            let v = 10 + i * 31;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn json_shape_and_total() {
+        let mut h = LogHistogram::new();
+        for v in [1_000u64, 2_000, 3_000_000] {
+            h.record(v);
+        }
+        let json = h.to_json();
+        for key in [
+            "\"count\": 3",
+            "\"min_ns\"",
+            "\"max_ns\"",
+            "\"mean_ns\"",
+            "\"p50_ns\"",
+            "\"p999_ns\"",
+            "\"buckets\"",
+            "\"le_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let total: u64 = h.buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn render_uses_adaptive_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+        let mut h = LogHistogram::new();
+        h.record(2_000_000);
+        let line = h.render("ack latency");
+        assert!(line.starts_with("ack latency: count=1"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+    }
+}

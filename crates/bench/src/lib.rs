@@ -10,6 +10,7 @@
 //! binaries default lower to keep a full reproduction run fast) or
 //! `--quick` for a reduced smoke-test grid.
 
+pub mod histogram;
 pub mod scenario;
 
 use ldp_bits::{masks_of_weight, Mask};
@@ -70,6 +71,87 @@ impl DataSource {
                 }
             }
             DataSource::Skewed => ldp_data::synthetic::zipf_skewed(d, 0.8, n, &mut rng),
+        }
+    }
+
+    /// A lazy row stream over the same population [`Self::generate`]
+    /// would materialize: `stream(d, seed)` followed by `n` calls to
+    /// [`RowStream::next_row`] yields exactly `generate(d, n, seed)`'s
+    /// rows, without ever holding more than one row (plus the fixed-size
+    /// sampler state) in memory. This is what lets `ldp-cli load` drive
+    /// populations of tens of millions of users.
+    #[must_use]
+    pub fn stream(self, d: u32, seed: u64) -> RowStream {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = match self {
+            DataSource::MovieLens => StreamKind::MovieLens(MovieLensGenerator::new(d.min(30))),
+            DataSource::Taxi => StreamKind::Taxi {
+                generator: TaxiGenerator::default(),
+                d,
+            },
+            DataSource::Skewed => {
+                StreamKind::Skewed(ldp_data::synthetic::ZipfSkewed::new(d, 0.8, &mut rng))
+            }
+        };
+        RowStream { rng, kind }
+    }
+}
+
+/// A lazily-sampled row source (see [`DataSource::stream`]). Holds the
+/// generator's fixed-size state and the RNG — never the population.
+#[derive(Clone, Debug)]
+pub struct RowStream {
+    rng: StdRng,
+    kind: StreamKind,
+}
+
+#[derive(Clone, Debug)]
+enum StreamKind {
+    MovieLens(MovieLensGenerator),
+    Taxi { generator: TaxiGenerator, d: u32 },
+    Skewed(ldp_data::synthetic::ZipfSkewed),
+}
+
+impl RowStream {
+    /// Draw the next row, identical to the corresponding entry of
+    /// [`DataSource::generate`]'s row vector.
+    pub fn next_row(&mut self) -> u64 {
+        match &self.kind {
+            StreamKind::MovieLens(generator) => generator.sample_row(&mut self.rng),
+            StreamKind::Taxi { generator, d } => {
+                // Replicates `generate`'s whole-dataset `duplicate_columns`
+                // / `project(Mask::full(d))` transforms one row at a time.
+                let row = generator.sample_row(&mut self.rng);
+                if *d > 8 {
+                    let mut out = row;
+                    for b in 8..*d {
+                        out |= ((row >> (b % 8)) & 1) << b;
+                    }
+                    out
+                } else if *d < 8 {
+                    row & ((1u64 << *d) - 1)
+                } else {
+                    row
+                }
+            }
+            StreamKind::Skewed(sampler) => sampler.sample_row(&mut self.rng),
+        }
+    }
+
+    /// Fill `out` with the next `out.len()` rows.
+    pub fn fill(&mut self, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_row();
+        }
+    }
+
+    /// Advance past `n` rows without keeping them — how a load client
+    /// positions itself at its contiguous slice of the population
+    /// (O(n) time, O(1) memory; the sampler state is small, so this
+    /// beats materializing the skipped prefix).
+    pub fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            let _ = self.next_row();
         }
     }
 }
@@ -249,5 +331,41 @@ mod tests {
     fn taxi_source_respects_dimension() {
         assert_eq!(DataSource::Taxi.generate(4, 100, 0).d(), 4);
         assert_eq!(DataSource::Taxi.generate(16, 100, 0).d(), 16);
+    }
+
+    #[test]
+    fn stream_matches_generate_exactly() {
+        // Every source, below/at/above the taxi pivot d = 8, both the
+        // per-row and the fill path: the lazy stream must reproduce the
+        // materialized population bit for bit.
+        for source in [DataSource::Taxi, DataSource::MovieLens, DataSource::Skewed] {
+            for d in [5u32, 8, 13] {
+                let n = 1_000;
+                let seed = 0xC0DE ^ u64::from(d);
+                let eager = source.generate(d, n, seed);
+                let mut stream = source.stream(d, seed);
+                let serial: Vec<u64> = (0..n).map(|_| stream.next_row()).collect();
+                assert_eq!(serial, eager.rows(), "{source:?} d={d} (next_row)");
+                let mut filled = vec![0u64; n];
+                source.stream(d, seed).fill(&mut filled);
+                assert_eq!(filled, eager.rows(), "{source:?} d={d} (fill)");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_chunking_is_invisible() {
+        // Refilling a small buffer must walk the same sequence as one
+        // big fill — the load generator draws per-batch slices this way.
+        let mut chunked = Vec::new();
+        let mut stream = DataSource::Skewed.stream(10, 7);
+        let mut buf = [0u64; 17];
+        while chunked.len() < 500 {
+            stream.fill(&mut buf);
+            chunked.extend_from_slice(&buf);
+        }
+        chunked.truncate(500);
+        let eager = DataSource::Skewed.generate(10, 500, 7);
+        assert_eq!(chunked, eager.rows());
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::DataSource;
 use ldp_core::frame::StreamHeader;
+use ldp_core::wire::Writer;
 use ldp_core::{user_rng, Accumulator, MechanismKind, MechanismReport};
 use std::time::Instant;
 
@@ -136,6 +137,11 @@ impl Scenario {
                         points.push(swept(MechanismKind::InpEm, 20_000, batch));
                         points.push(swept(MechanismKind::MargPs, 20_000, batch));
                     }
+                    // The encode-throughput gate's batched point: InpRR
+                    // has the heaviest client (2^d coins per report), so
+                    // it is where the lane-oriented encode kernels show
+                    // up (batch=0 measures the serial loop above).
+                    points.push(swept(MechanismKind::InpRr, 20_000, 1_024));
                     // Serve points push REPORT_BATCH frames (wire v2);
                     // the pair sweeps the client batch size around the
                     // worker drain bound. n is 10× the batch points':
@@ -181,7 +187,10 @@ impl Scenario {
 pub struct PointResult {
     /// The grid point measured.
     pub point: ScenarioPoint,
-    /// Client encodes/sec (one pass over the population).
+    /// Client encodes/sec (best of reps). `batch == 0` measures the
+    /// serial per-user `encode` loop; `batch > 0` measures the batched
+    /// `encode_batch` kernel writing `REPORT_BATCH` frames into a
+    /// reused `wire::Writer`.
     pub encodes_per_sec: f64,
     /// Accumulator ingest throughput, reports/sec (best of reps).
     pub reports_per_sec: f64,
@@ -235,9 +244,14 @@ pub fn run_point(
         DataSource::Skewed.generate(point.d, point.n, seed)
     };
 
-    // Client pass: encode every user's report once (timed), and account
-    // for the wire size of what they would transmit.
-    let t0 = Instant::now();
+    // Client pass (timed inside the same ≥ MIN_MEASURE_SECS window as
+    // the other rates): batch == 0 measures the serial per-user encode
+    // loop, batch > 0 the batched kernel writing REPORT_BATCH frames
+    // into one reused Writer.
+    let best_encode = measure_encode(&mech, data.rows(), point.batch, reps, seed);
+
+    // The report buffer the ingest/merge measurements consume, plus the
+    // wire size of what the population would transmit (untimed).
     let reports: Vec<MechanismReport> = data
         .rows()
         .iter()
@@ -247,7 +261,6 @@ pub fn run_point(
             mech.encode(row, &mut rng)
         })
         .collect();
-    let encode_elapsed = t0.elapsed().as_secs_f64();
     let wire_bytes: usize = reports.iter().map(|r| r.to_bytes().len()).sum();
 
     // Snapshot size after one full ingest (state size is count-invariant,
@@ -312,12 +325,49 @@ pub fn run_point(
 
     PointResult {
         point: *point,
-        encodes_per_sec: point.n as f64 / encode_elapsed.max(1e-9),
+        encodes_per_sec: best_encode,
         reports_per_sec: best_ingest,
         merges_per_sec: best_merge,
         snapshot_bytes,
         bytes_per_report: wire_bytes as f64 / point.n as f64,
     }
+}
+
+/// Measure client encode throughput over a population (best of `reps`,
+/// each rep a ≥ [`MIN_MEASURE_SECS`] window). `batch == 0` runs the
+/// serial per-user `encode`; `batch > 0` runs `encode_batch` over
+/// `batch`-row chunks into one reused [`Writer`] — both under the same
+/// `user_rng(seed, user)` schedule, so the two rates compare the
+/// kernels, not the workloads.
+fn measure_encode(
+    mech: &ldp_core::Mechanism,
+    rows: &[u64],
+    batch: usize,
+    reps: usize,
+    seed: u64,
+) -> f64 {
+    let n = rows.len();
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let (elapsed, iters) = if batch == 0 {
+            time_at_least(|| {
+                for (user, &row) in rows.iter().enumerate() {
+                    let mut rng = user_rng(seed, user as u64);
+                    std::hint::black_box(mech.encode(row, &mut rng));
+                }
+            })
+        } else {
+            let mut w = Writer::default();
+            time_at_least(|| {
+                for (chunk_index, chunk) in rows.chunks(batch).enumerate() {
+                    mech.encode_batch(chunk, seed, (chunk_index * batch) as u64, &mut w);
+                    std::hint::black_box(w.as_bytes());
+                }
+            })
+        };
+        best = best.max(n as f64 * iters as f64 / elapsed);
+    }
+    best
 }
 
 /// Concurrent TCP clients a [`PointMode::Serve`] measurement drives.
@@ -347,9 +397,9 @@ fn run_serve_point(point: &ScenarioPoint, reps: usize, seed: u64) -> PointResult
         DataSource::Skewed.generate(point.d, point.n, seed)
     };
 
-    // Client encode pass (timed once, like the batch mode), buffering
-    // the framed wire form each client will push.
-    let t0 = Instant::now();
+    // Client encode pass (timed like the batch mode), then the framed
+    // wire form each client will push, built untimed.
+    let best_encode = measure_encode(&mech, data.rows(), point.batch, reps, seed);
     let frames: Vec<Vec<u8>> = data
         .rows()
         .iter()
@@ -359,7 +409,6 @@ fn run_serve_point(point: &ScenarioPoint, reps: usize, seed: u64) -> PointResult
             mech.encode(row, &mut rng).to_bytes()
         })
         .collect();
-    let encode_elapsed = t0.elapsed().as_secs_f64();
     let wire_bytes: usize = frames.iter().map(Vec::len).sum();
 
     let header = StreamHeader::mechanism(point.mechanism, point.d, point.k, point.eps);
@@ -415,7 +464,7 @@ fn run_serve_point(point: &ScenarioPoint, reps: usize, seed: u64) -> PointResult
 
     PointResult {
         point: *point,
-        encodes_per_sec: point.n as f64 / encode_elapsed.max(1e-9),
+        encodes_per_sec: best_encode,
         reports_per_sec: best_ingest,
         merges_per_sec: best_snapshot,
         snapshot_bytes,
@@ -556,10 +605,11 @@ pub fn allowed_drop(mode: PointMode, max_drop: f64) -> f64 {
 }
 
 /// The CI regression gate: one message per grid point whose ingest
-/// throughput dropped more than its allowance (`max_drop` for batch
-/// points, [`allowed_drop`] for serve points) below the baseline.
-/// Points missing from either side are reported too — a silently
-/// narrowed grid must not pass as "no regressions".
+/// throughput — or client encode throughput — dropped more than its
+/// allowance (`max_drop` for batch points, [`allowed_drop`] for serve
+/// points) below the baseline. Points missing from either side are
+/// reported too — a silently narrowed grid must not pass as "no
+/// regressions".
 #[must_use]
 pub fn regressions(
     current: &[PointResult],
@@ -600,7 +650,8 @@ pub fn regressions(
                 label(&base.point)
             )),
             Some(cur) => {
-                let floor = base.reports_per_sec * (1.0 - allowed_drop(base.point.mode, max_drop));
+                let allowance = allowed_drop(base.point.mode, max_drop);
+                let floor = base.reports_per_sec * (1.0 - allowance);
                 if cur.reports_per_sec < floor {
                     problems.push(format!(
                         "{}: {:.0} reports/sec is {:.0}% below baseline {:.0} (floor {:.0})",
@@ -609,6 +660,17 @@ pub fn regressions(
                         (1.0 - cur.reports_per_sec / base.reports_per_sec) * 100.0,
                         base.reports_per_sec,
                         floor
+                    ));
+                }
+                let encode_floor = base.encodes_per_sec * (1.0 - allowance);
+                if cur.encodes_per_sec < encode_floor {
+                    problems.push(format!(
+                        "{}: {:.0} encodes/sec is {:.0}% below baseline {:.0} (floor {:.0})",
+                        label(&cur.point),
+                        cur.encodes_per_sec,
+                        (1.0 - cur.encodes_per_sec / base.encodes_per_sec) * 100.0,
+                        base.encodes_per_sec,
+                        encode_floor
                     ));
                 }
             }
@@ -1021,6 +1083,56 @@ mod tests {
             .len(),
             1
         );
+    }
+
+    #[test]
+    fn encode_throughput_is_gated_too() {
+        let base = run_point(&tiny_point(MechanismKind::MargHt), 4, 1, 7);
+        // A halved encode rate trips the gate even when ingest holds.
+        let mut slow_encode = base.clone();
+        slow_encode.encodes_per_sec = base.encodes_per_sec * 0.5;
+        let problems = regressions(
+            std::slice::from_ref(&slow_encode),
+            std::slice::from_ref(&base),
+            0.30,
+        );
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("encodes/sec"), "{problems:?}");
+        // Exactly at the floor passes — same strictness as ingest.
+        let mut at_floor = base.clone();
+        at_floor.encodes_per_sec = base.encodes_per_sec * (1.0 - 0.30);
+        assert!(regressions(
+            std::slice::from_ref(&at_floor),
+            std::slice::from_ref(&base),
+            0.30
+        )
+        .is_empty());
+        // Both rates dropping reports both problems for the one point.
+        let mut both = base.clone();
+        both.encodes_per_sec = base.encodes_per_sec * 0.5;
+        both.reports_per_sec = base.reports_per_sec * 0.5;
+        assert_eq!(
+            regressions(
+                std::slice::from_ref(&both),
+                std::slice::from_ref(&base),
+                0.30
+            )
+            .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn batched_encode_points_measure_the_kernel() {
+        // batch > 0 routes the encode measurement through encode_batch
+        // (REPORT_BATCH frames into a reused Writer); the rate must be
+        // a valid gating key and the ingest state unchanged.
+        let whole = tiny_point(MechanismKind::InpRr);
+        let chunked = ScenarioPoint { batch: 64, ..whole };
+        let a = run_point(&whole, 4, 1, 7);
+        let b = run_point(&chunked, 4, 1, 7);
+        assert!(b.encodes_per_sec > 0.0 && b.encodes_per_sec.is_finite());
+        assert_eq!(a.snapshot_bytes, b.snapshot_bytes);
     }
 
     #[test]

@@ -6,11 +6,11 @@ use ldp_bench::scenario::{parse_bench_json, regressions, run_scenario, to_json, 
 use ldp_bench::DataSource;
 use ldp_bits::{masks_of_weight, Mask};
 use ldp_core::frame::{read_snapshot, write_snapshot, FrameReader, FrameWriter, StreamHeader};
-use ldp_core::wire::tag;
+use ldp_core::wire::{tag, Writer};
 use ldp_core::{clamp_normalize, user_rng, MarginalEstimator};
 use ldp_oracles::pipeline::{
-    decode_report_batch_into, encode_report_batch, header_for, Client, PipelineAccumulator,
-    PipelineEstimate, PipelineReport, Protocol, SketchShape,
+    decode_report_batch_into, header_for, Client, PipelineAccumulator, PipelineEstimate,
+    PipelineReport, Protocol, SketchShape,
 };
 use ldp_oracles::FrequencyOracle;
 use ldp_server::{Control, QueryRequest, QueryTarget, Request, Response};
@@ -105,29 +105,26 @@ pub fn encode(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut wire_bytes = 0usize;
     // With `--batch N`, reports are grouped into `REPORT_BATCH` frames
-    // (wire v2) of up to N reports; `--batch 0` keeps the wire-v1
-    // one-frame-per-report shape.
-    let mut chunk: Vec<Vec<u8>> = Vec::new();
-    for (i, &row) in rows.iter().enumerate() {
-        let mut rng = user_rng(seed, first_user + i as u64);
-        let report = client.encode_report(row, &mut rng);
-        wire_bytes += report.len();
-        if batch == 0 {
+    // (wire v2) of up to N reports via the batched encode kernels — one
+    // reusable frame buffer, no per-report allocation, byte-identical
+    // to batching the serial loop's reports (tests/encode_kernels.rs).
+    // `--batch 0` keeps the wire-v1 one-frame-per-report shape.
+    if batch == 0 {
+        for (i, &row) in rows.iter().enumerate() {
+            let mut rng = user_rng(seed, first_user + i as u64);
+            let report = client.encode_report(row, &mut rng);
+            wire_bytes += report.len();
             writer.write_frame(&report).map_err(|e| e.to_string())?;
-        } else {
-            chunk.push(report);
-            if chunk.len() >= batch {
-                writer
-                    .write_frame(&encode_report_batch(&chunk))
-                    .map_err(|e| e.to_string())?;
-                chunk.clear();
-            }
         }
-    }
-    if !chunk.is_empty() {
-        writer
-            .write_frame(&encode_report_batch(&chunk))
-            .map_err(|e| e.to_string())?;
+    } else {
+        let mut w = Writer::default();
+        for (c, chunk) in rows.chunks(batch).enumerate() {
+            client.encode_batch(chunk, seed, first_user + (c * batch) as u64, &mut w);
+            wire_bytes += w.len();
+            writer
+                .write_frame(w.as_bytes())
+                .map_err(|e| e.to_string())?;
+        }
     }
     writer.flush().map_err(|e| e.to_string())?;
     eprintln!(

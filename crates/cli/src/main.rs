@@ -27,6 +27,7 @@
 
 mod commands;
 mod flags;
+mod load;
 mod serve;
 
 use flags::Flags;
@@ -84,6 +85,15 @@ SERVING SUBCOMMANDS
           --batch B (0; reports per REPORT_BATCH frame, 0 = one frame
           per report — see docs/OPERATIONS.md for sizing)
           --d/--k/--eps/--seed/--generate/--hashes/--width/--family-seed as encode
+          Open-loop mode (docs/OPERATIONS.md, Load generation):
+          --rate R (target reports/s on a fixed arrival schedule; one
+          batch event every batch/R seconds, lateness tracked, per-batch
+          ack latency measured from the scheduled send)
+          --duration S (2.0) --batch B (256 when 0 in this mode)
+          --mix margps=3,olh=1@host:port (weighted protocol mix; the
+          address defaults to --connect — one server serves one
+          pipeline, so point extra protocols at their own servers)
+          --hist-output PATH (write the latency histogram JSON)
   snapshot  Fetch the live merged snapshot as a snapshot file.
           --connect ADDR (required) --output PATH (-)
   stats   Print a server's counters (pipeline, reports, connections).
@@ -205,10 +215,14 @@ fn dispatch(subcommand: &str, rest: &[String]) -> Result<(), String> {
                     "hashes",
                     "width",
                     "family-seed",
+                    "rate",
+                    "duration",
+                    "mix",
+                    "hist-output",
                 ],
                 &[],
             )?;
-            serve::load(&f)
+            load::load(&f)
         }
         "snapshot" => {
             let f = Flags::parse(rest, &["connect", "output"], &[])?;

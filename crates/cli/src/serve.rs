@@ -1,15 +1,13 @@
-//! The serving subcommands: `serve` (the aggregation daemon), `load`
-//! (a concurrent traffic generator), and the control-plane clients
-//! `snapshot`, `stats`, and `shutdown`.
+//! The serving subcommands: `serve` (the aggregation daemon) and the
+//! control-plane clients `snapshot`, `stats`, and `shutdown` (the
+//! traffic generator lives in `crate::load`).
 
 use crate::commands::open_output;
 use crate::flags::Flags;
-use ldp_bench::DataSource;
 use ldp_core::frame::write_snapshot;
-use ldp_core::user_rng;
-use ldp_oracles::pipeline::{header_for, Client, Protocol, SketchShape};
-use ldp_server::{push_report_batches, Control, Request, Response, ServeConfig, Server};
-use std::time::{Duration, Instant};
+use ldp_oracles::pipeline::Protocol;
+use ldp_server::{Control, Request, Response, ServeConfig, Server};
+use std::time::Duration;
 
 /// `serve`: run the aggregation server until a graceful-shutdown
 /// request arrives. With `--upstream` the server is a relay node of a
@@ -59,108 +57,6 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
             None => eprintln!("no report stream arrived; {path} not written"),
         }
     }
-    Ok(())
-}
-
-/// `load`: drive a running server with N concurrent client connections
-/// each pushing M reports. Users are numbered `0..N*M` across the
-/// clients in contiguous slices and encoded with the `user_rng(seed,
-/// user)` schedule, so the union of all connections is byte-identical
-/// to `ldp-cli encode --generate <src> --n N*M --seed <seed>` — a
-/// live-server snapshot after `load` must equal a serial `ingest` of
-/// that stream.
-pub fn load(flags: &Flags) -> Result<(), String> {
-    let addr = flags.require("connect")?;
-    let protocol = Protocol::parse(flags.require("protocol")?)?;
-    let d: u32 = flags.parsed("d", 8)?;
-    let k: u32 = flags.parsed("k", 2)?;
-    let eps: f64 = flags.parsed("eps", 1.1)?;
-    let seed: u64 = flags.parsed("seed", 42)?;
-    let clients: usize = flags.parsed("clients", 4)?;
-    let per_client: usize = flags.parsed("reports", 2_500)?;
-    // Reports per `REPORT_BATCH` frame; 0 pushes one frame per report
-    // (the wire-v1 shape). See docs/OPERATIONS.md for sizing guidance.
-    let batch: usize = flags.parsed("batch", 0)?;
-    let sketch = SketchShape {
-        hashes: flags.parsed("hashes", 5)?,
-        width: flags.parsed("width", 256)?,
-        family_seed: flags.parsed("family-seed", 1)?,
-    };
-    if !(1..=63).contains(&d) {
-        return Err(format!("--d must be in 1..=63, got {d}"));
-    }
-    if k < 1 || k > d {
-        return Err(format!("--k must be in 1..={d}, got {k}"));
-    }
-    if clients == 0 || per_client == 0 {
-        return Err("--clients and --reports must be at least 1".to_string());
-    }
-    let source = match flags.get("generate").unwrap_or("taxi") {
-        "taxi" => DataSource::Taxi,
-        "movielens" => DataSource::MovieLens,
-        "skewed" => DataSource::Skewed,
-        other => {
-            return Err(format!(
-                "unknown --generate source {other:?}; expected taxi, movielens or skewed"
-            ))
-        }
-    };
-
-    let total = clients * per_client;
-    let data = source.generate(d, total, seed);
-    let header = header_for(protocol, d, k, eps, sketch);
-    let client = Client::from_header(&header)?;
-
-    // Encode every client's slice up front (concurrently), so the timed
-    // phase measures the serving path, not client-side encoding.
-    let rows = data.rows();
-    let frames: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
-        rows.chunks(per_client)
-            .enumerate()
-            .map(|(c, chunk)| {
-                let client = &client;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &row)| {
-                            let user = (c * per_client + i) as u64;
-                            let mut rng = user_rng(seed, user);
-                            client.encode_report(row, &mut rng)
-                        })
-                        .collect::<Vec<Vec<u8>>>()
-                })
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .map_err(|_| "an encoder thread panicked".to_string())
-            })
-            .collect::<Result<_, String>>()
-    })?;
-    let wire_bytes: usize = frames.iter().flatten().map(Vec::len).sum();
-
-    let t0 = Instant::now();
-    let acked: u64 = std::thread::scope(|scope| {
-        frames
-            .iter()
-            .map(|slice| scope.spawn(move || push_report_batches(addr, &header, slice, batch)))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err("a load client thread panicked".to_string()))
-            })
-            .sum::<Result<u64, String>>()
-    })?;
-    let elapsed = t0.elapsed().as_secs_f64();
-    eprintln!(
-        "pushed {total} {} reports ({wire_bytes} wire bytes) over {clients} connections \
-         in {elapsed:.3} s ({:.0} reports/s); server absorbed {acked}",
-        protocol.name(),
-        total as f64 / elapsed.max(1e-9),
-    );
     Ok(())
 }
 

@@ -66,16 +66,23 @@ impl InpEm {
     }
 
     /// Client: flip every attribute independently with `(ε/d)`-RR.
+    ///
+    /// `perturb_bit` keeps a bit with probability `p` and flips it
+    /// otherwise, so the report is `row XOR flips` where `flips` is a
+    /// `d`-lane `Bernoulli(1 − p)` mask — drawn 64 lanes per RNG word
+    /// by [`bernoulli_word`](ldp_sampling::bernoulli_word) instead of
+    /// one `gen_bool` per attribute.
     #[inline]
     pub fn encode<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> u64 {
-        let mut out = 0u64;
-        for b in 0..self.d {
-            let bit = (row >> b) & 1 == 1;
-            if self.rr.perturb_bit(bit, rng) {
-                out |= 1u64 << b;
-            }
-        }
-        out
+        row ^ ldp_sampling::bernoulli_word(rng, self.flip_fixed(), self.d)
+    }
+
+    /// Fixed-point flip probability for the lane-oriented encode (the
+    /// batch kernel hoists this out of its per-report loop).
+    #[inline]
+    #[must_use]
+    pub fn flip_fixed(&self) -> u64 {
+        ldp_sampling::bernoulli_fixed(1.0 - self.rr.keep_probability())
     }
 
     /// Fresh aggregator.

@@ -40,6 +40,7 @@
 mod accumulator;
 mod categorical;
 pub mod consistency;
+mod encode;
 mod estimate;
 pub mod frame;
 mod inp_em;

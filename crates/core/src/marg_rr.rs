@@ -12,6 +12,7 @@ use crate::wire::{tag, Reader, WireError, Writer};
 use crate::{Accumulator, MarginalSetEstimate};
 use ldp_bits::{compress, masks_of_weight, Mask};
 use ldp_mechanisms::{UnaryEncoding, UnaryFlavor};
+use ldp_sampling::{bernoulli_fixed, bernoulli_word};
 use rand::Rng;
 
 /// One user's report: the sampled marginal and the perturbed one-hot
@@ -73,19 +74,58 @@ impl MargRr {
 
     /// Client: sample a marginal, perturb its one-hot table.
     pub fn encode<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> MargRrReport {
+        let (marginal, cell) = self.sample_marginal(row, rng);
+        let mut ones = Vec::new();
+        self.perturb_table(cell, rng, |c| ones.push(c));
+        MargRrReport { marginal, ones }
+    }
+
+    /// First half of the encode: draw the marginal uniformly and project
+    /// the row onto it. Returns `(marginal index, local cell)`. Split
+    /// out so the batched kernel can write the marginal field before the
+    /// variable-length ones list.
+    #[inline]
+    pub fn sample_marginal<R: Rng + ?Sized>(&self, row: u64, rng: &mut R) -> (u32, u64) {
         let mi = rng.gen_range(0..self.marginals.len());
         let beta = self.marginals[mi];
-        let cell = compress(row, beta.bits());
+        (mi as u32, compress(row, beta.bits()))
+    }
+
+    /// Second half of the encode, shared by the serial
+    /// [`encode`](Self::encode) and the batched kernel: walk the
+    /// perturbed `2^k`-cell table's 1-positions in ascending order. The
+    /// `2^k − 1` background cells are i.i.d. `Bernoulli(p₀)` coins drawn
+    /// 64 lanes per RNG word via [`bernoulli_word`], with the true
+    /// cell's bit overridden by a separate `Bernoulli(p₁)` draw.
+    #[inline]
+    pub fn perturb_table<R: Rng + ?Sized, F: FnMut(u16)>(
+        &self,
+        cell: u64,
+        rng: &mut R,
+        mut emit: F,
+    ) {
         let cells = 1u64 << self.k;
-        let mut ones = Vec::new();
-        for c in 0..cells {
-            if self.ue.perturb_bit(c == cell, rng) {
-                ones.push(c as u16);
+        debug_assert!(cell < cells);
+        let truth = rng.gen_bool(self.ue.p1());
+        let p0 = bernoulli_fixed(self.ue.p0());
+        let mut base = 0u64;
+        while base < cells {
+            let lanes = (cells - base).min(64) as u32;
+            let mut word = bernoulli_word(rng, p0, lanes);
+            if cell >= base && cell - base < u64::from(lanes) {
+                let bit = 1u64 << (cell - base);
+                if truth {
+                    word |= bit;
+                } else {
+                    word &= !bit;
+                }
             }
-        }
-        MargRrReport {
-            marginal: mi as u32,
-            ones,
+            while word != 0 {
+                let tz = word.trailing_zeros();
+                emit(base as u16 + tz as u16);
+                word &= word - 1;
+            }
+            base += u64::from(lanes);
         }
     }
 

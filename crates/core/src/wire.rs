@@ -185,6 +185,57 @@ impl Writer {
         w
     }
 
+    /// Clear the buffer and restart it with a new tag + [`VERSION`]
+    /// header, keeping the existing allocation. The reuse form of
+    /// [`with_tag`](Self::with_tag) for hot loops (batch encode kernels
+    /// fill one `Writer` per frame instead of allocating per report).
+    pub fn reset_with_tag(&mut self, tag: u8) {
+        self.buf.clear();
+        self.buf.push(tag);
+        self.buf.push(VERSION);
+    }
+
+    /// Append a nested blob header (tag + current [`VERSION`]) mid-buffer
+    /// — used when packing self-describing report blobs back to back
+    /// inside a [`tag::REPORT_BATCH`] payload without per-report `Vec`s.
+    pub fn put_tag(&mut self, tag: u8) {
+        self.buf.push(tag);
+        self.buf.push(VERSION);
+    }
+
+    /// The bytes encoded so far, without consuming the writer.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` iff nothing has been encoded (only possible via
+    /// `Writer::default()`, which has no header).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Overwrite 4 bytes at `pos` with a little-endian `u32` — for
+    /// back-patching a count prefix once a batch loop knows its final
+    /// size. Returns `false` (and leaves the buffer untouched) if the
+    /// range is out of bounds.
+    pub fn patch_u32(&mut self, pos: usize, v: u32) -> bool {
+        match self.buf.get_mut(pos..pos + 4) {
+            Some(slot) => {
+                slot.copy_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Append a raw byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);

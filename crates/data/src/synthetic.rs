@@ -43,18 +43,44 @@ pub fn uniform<R: Rng + ?Sized>(d: u32, n: usize, rng: &mut R) -> BinaryDataset 
 /// skewed" input of Figure 10; larger `s` gives the "more skewed" variant
 /// the paper mentions favors the sketch.
 pub fn zipf_skewed<R: Rng + ?Sized>(d: u32, s: f64, n: usize, rng: &mut R) -> BinaryDataset {
-    assert!(d <= 24, "full-domain skewed generator supports d ≤ 24");
-    let cells = 1usize << d;
-    let mut weights: Vec<f64> = (0..cells).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
-    // Shuffle which cell gets which weight so skew is not aligned with the
-    // numeric order of the domain (Fisher–Yates).
-    for i in (1..cells).rev() {
-        let j = rng.gen_range(0..=i);
-        weights.swap(i, j);
-    }
-    let table = AliasTable::new(&weights);
-    let rows = (0..n).map(|_| table.sample(rng) as u64).collect();
+    let sampler = ZipfSkewed::new(d, s, rng);
+    let rows = (0..n).map(|_| sampler.sample_row(rng)).collect();
     BinaryDataset::new(d, rows)
+}
+
+/// The reusable half of [`zipf_skewed`]: the shuffled-weight alias table,
+/// split out so callers can draw rows one at a time (a load generator
+/// streaming millions of rows should not materialize them all).
+/// `ZipfSkewed::new` consumes exactly the RNG draws of the [`zipf_skewed`]
+/// setup and `sample_row` exactly one draw schedule per row, so
+/// `new` + `n × sample_row` on one RNG reproduces `zipf_skewed(d, s, n)`
+/// bit for bit.
+#[derive(Clone, Debug)]
+pub struct ZipfSkewed {
+    table: AliasTable,
+}
+
+impl ZipfSkewed {
+    /// Build the shuffled Zipf weight table over `{0,1}^d` (`d ≤ 24`).
+    pub fn new<R: Rng + ?Sized>(d: u32, s: f64, rng: &mut R) -> Self {
+        assert!(d <= 24, "full-domain skewed generator supports d ≤ 24");
+        let cells = 1usize << d;
+        let mut weights: Vec<f64> = (0..cells).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        // Shuffle which cell gets which weight so skew is not aligned with the
+        // numeric order of the domain (Fisher–Yates).
+        for i in (1..cells).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        ZipfSkewed {
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Draw one row.
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.table.sample(rng) as u64
+    }
 }
 
 /// A point-mass-plus-noise dataset: fraction `heavy` of the records take

@@ -8,6 +8,7 @@ use ldp_core::wire::{tag, Reader, WireError, Writer};
 use ldp_core::Accumulator;
 use ldp_mechanisms::{check_epsilon, UnaryEncoding, UnaryFlavor};
 use ldp_sampling::hash::{splitmix64, PolyHash};
+use ldp_sampling::{bernoulli_fixed, bernoulli_word};
 use rand::Rng;
 
 /// One user's report: the sampled row and the positions reporting 1.
@@ -61,16 +62,58 @@ impl Cms {
 
     /// Client: hash into the sampled row, unary-encode the bucket.
     pub fn encode<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> CmsReport {
+        let (row, bucket) = self.sample_row(value, rng);
+        let mut ones = Vec::new();
+        self.perturb_row(bucket, rng, |b| ones.push(b));
+        CmsReport { row, ones }
+    }
+
+    /// First half of the encode: draw the sketch row uniformly and hash
+    /// the value into it. Returns `(row, bucket)`. Split out so the
+    /// batched kernel can write the row field before the variable-length
+    /// ones list.
+    #[inline]
+    pub fn sample_row<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> (u8, u64) {
         let l = rng.gen_range(0..self.g);
-        let bucket = self.hashes[l].hash(value) as usize;
-        let ones = self
-            .ue
-            .perturb_onehot(self.w, bucket, rng)
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i as u16))
-            .collect();
-        CmsReport { row: l as u8, ones }
+        (l as u8, self.hashes[l].hash(value))
+    }
+
+    /// Second half of the encode, shared by the serial
+    /// [`encode`](Self::encode) and the batched kernel: walk the
+    /// perturbed `w`-bucket unary encoding's 1-positions in ascending
+    /// order (background coins drawn 64 lanes per RNG word via
+    /// [`bernoulli_word`], the true bucket overridden by a separate
+    /// `Bernoulli(p₁)` draw).
+    #[inline]
+    pub fn perturb_row<R: Rng + ?Sized, F: FnMut(u16)>(
+        &self,
+        bucket: u64,
+        rng: &mut R,
+        mut emit: F,
+    ) {
+        let cells = self.w as u64;
+        debug_assert!(bucket < cells);
+        let truth = rng.gen_bool(self.ue.p1());
+        let p0 = bernoulli_fixed(self.ue.p0());
+        let mut base = 0u64;
+        while base < cells {
+            let lanes = (cells - base).min(64) as u32;
+            let mut word = bernoulli_word(rng, p0, lanes);
+            if bucket >= base && bucket - base < u64::from(lanes) {
+                let bit = 1u64 << (bucket - base);
+                if truth {
+                    word |= bit;
+                } else {
+                    word &= !bit;
+                }
+            }
+            while word != 0 {
+                let tz = word.trailing_zeros();
+                emit(base as u16 + tz as u16);
+                word &= word - 1;
+            }
+            base += u64::from(lanes);
+        }
     }
 
     /// Fresh aggregator.

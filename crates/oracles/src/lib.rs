@@ -32,6 +32,7 @@
 //! `to_bytes` across process boundaries).
 
 mod cms;
+mod encode;
 mod hcms;
 mod olh;
 mod oracle;

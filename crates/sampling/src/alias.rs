@@ -85,6 +85,21 @@ impl AliasTable {
             self.alias[i] as usize
         }
     }
+
+    /// Fill a caller-provided buffer with i.i.d. draws. Consumes the RNG
+    /// exactly like `out.len()` serial [`sample`](Self::sample) calls, so
+    /// batched and serial encoders stay schedule-identical.
+    pub fn sample_fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        let n = self.prob.len();
+        for slot in out.iter_mut() {
+            let i = rng.gen_range(0..n);
+            *slot = if rng.gen::<f64>() < self.prob[i] {
+                i
+            } else {
+                self.alias[i] as usize
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +140,24 @@ mod tests {
             let f = counts[i] as f64 / trials as f64;
             assert!((f - w).abs() < 0.005, "outcome {i}: {f} vs {w}");
         }
+    }
+
+    #[test]
+    fn sample_fill_matches_serial_schedule_exactly() {
+        let t = AliasTable::new(&[0.1, 0.4, 0.2, 0.05, 0.25]);
+        let serial: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..257).map(|_| t.sample(&mut rng)).collect()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = vec![0usize; 257];
+        t.sample_fill(&mut rng, &mut out);
+        assert_eq!(out, serial);
+        let mut serial_rng = StdRng::seed_from_u64(7);
+        for _ in 0..257 {
+            let _ = t.sample(&mut serial_rng);
+        }
+        assert_eq!(rng.gen::<u64>(), serial_rng.gen::<u64>());
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //!   by the *exact* pmf ratio `f(y)/f(m)` (an `O(|y−m|)` product; `|y−m|`
 //!   is `O(√(npq))` with high probability, which is plenty fast for the
 //!   simulation workloads here and avoids the delicate Stirling squeeze).
+//!
+//! Both regimes share a deterministic setup (regime choice, envelope
+//! constants) that [`BinomialSampler`] computes once, so batched draws
+//! from a fixed `(n, p)` — [`binomial_fill`], or a sampler held across
+//! reports — skip the per-draw setup without changing the RNG schedule:
+//! `binomial_fill` consumes exactly the words that the same number of
+//! [`binomial`] calls would.
 
 use rand::Rng;
 
@@ -17,44 +24,169 @@ use rand::Rng;
 /// Panics if `p` is not a probability.
 #[must_use]
 pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
-    if n == 0 || p == 0.0 {
-        return 0;
+    BinomialSampler::new(n, p).sample(rng)
+}
+
+/// Fill a caller-provided buffer with i.i.d. `Binomial(n, p)` draws,
+/// hoisting the regime selection and envelope constants out of the
+/// per-draw loop. The RNG schedule is identical to `out.len()` serial
+/// [`binomial`] calls.
+///
+/// Panics if `p` is not a probability.
+pub fn binomial_fill<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64, out: &mut [u64]) {
+    BinomialSampler::new(n, p).fill(rng, out);
+}
+
+/// A `Binomial(n, p)` distribution with its sampling plan (regime
+/// choice and all deterministic constants) precomputed.
+#[derive(Clone, Debug)]
+pub struct BinomialSampler {
+    n: u64,
+    /// Draws are taken with `q = min(p, 1−p)` and mirrored at the end.
+    flipped: bool,
+    plan: Plan,
+}
+
+#[derive(Clone, Debug)]
+enum Plan {
+    /// `p ∈ {0, 1}` or `n = 0`: a constant, no RNG consumed.
+    Constant(u64),
+    /// BINV inversion; requires small mean `n·p`.
+    Binv { s: f64, log_f0: f64 },
+    /// Normal approximation clamped to the support — only reachable in
+    /// the theoretical huge-`n`/tiny-`p` underflow corner of BINV.
+    Normal { mean: f64, sd: f64 },
+    /// BTPE-style envelope rejection; requires `p ≤ 0.5`, `n·p ≥ 10`.
+    Btpe(BtpeConstants),
+}
+
+#[derive(Clone, Debug)]
+struct BtpeConstants {
+    p: f64,
+    m: f64,
+    p1: f64,
+    xm: f64,
+    xl: f64,
+    xr: f64,
+    c: f64,
+    lambda_l: f64,
+    lambda_r: f64,
+    p2: f64,
+    p3: f64,
+    p4: f64,
+}
+
+impl BinomialSampler {
+    /// Precompute the sampling plan for `Binomial(n, p)`.
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        if n == 0 || p == 0.0 {
+            return BinomialSampler {
+                n,
+                flipped: false,
+                plan: Plan::Constant(0),
+            };
+        }
+        if p == 1.0 {
+            return BinomialSampler {
+                n,
+                flipped: false,
+                plan: Plan::Constant(n),
+            };
+        }
+        // Work with q = min(p, 1−p) and flip at the end.
+        let flipped = p > 0.5;
+        let pp = if flipped { 1.0 - p } else { p };
+        let plan = if (n as f64) * pp < 10.0 {
+            let q = 1.0 - pp;
+            let log_f0 = (n as f64) * q.ln();
+            if log_f0 < -700.0 {
+                // f(0) = q^n underflows; mean ≥ ~10 only reaches the
+                // BTPE branch, so this occurs for extreme n with small
+                // np only in theory (documented inexactness in an
+                // unreachable-by-construction regime).
+                let mean = n as f64 * pp;
+                Plan::Normal {
+                    mean,
+                    sd: (mean * q).sqrt(),
+                }
+            } else {
+                Plan::Binv { s: pp / q, log_f0 }
+            }
+        } else {
+            Plan::Btpe(BtpeConstants::new(n, pp))
+        };
+        BinomialSampler { n, flipped, plan }
     }
-    if p == 1.0 {
-        return n;
+
+    /// Draw one value.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let raw = match &self.plan {
+            Plan::Constant(v) => return *v,
+            Plan::Binv { s, log_f0 } => binv(rng, self.n, *s, *log_f0),
+            Plan::Normal { mean, sd } => {
+                let z = normal_sample(rng);
+                (mean + sd * z).round().clamp(0.0, self.n as f64) as u64
+            }
+            Plan::Btpe(k) => btpe(rng, self.n, k),
+        };
+        if self.flipped {
+            self.n - raw
+        } else {
+            raw
+        }
     }
-    // Work with q = min(p, 1−p) and flip at the end.
-    let flipped = p > 0.5;
-    let pp = if flipped { 1.0 - p } else { p };
-    let sample = if (n as f64) * pp < 10.0 {
-        binv(rng, n, pp)
-    } else {
-        btpe(rng, n, pp)
-    };
-    if flipped {
-        n - sample
-    } else {
-        sample
+
+    /// Fill `out` with i.i.d. draws (the batched hot path).
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
     }
 }
 
-/// Inversion by CDF walk; requires small mean `n·p`.
-fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    let q = 1.0 - p;
-    let s = p / q;
-    // f(0) = q^n; may underflow for huge n with tiny p — use log form then.
-    let log_f0 = (n as f64) * q.ln();
-    if log_f0 < -700.0 {
-        // Mean is ≥ ~10 only in the BTPE branch, so this occurs for
-        // extreme n with small np only in theory; fall back to a normal
-        // approximation clamped to the support (documented inexactness in
-        // an unreachable-by-construction regime).
-        let mean = n as f64 * p;
-        let sd = (mean * q).sqrt();
-        let z = normal_sample(rng);
-        return (mean + sd * z).round().clamp(0.0, n as f64) as u64;
+impl BtpeConstants {
+    fn new(n: u64, p: f64) -> Self {
+        let nf = n as f64;
+        let q = 1.0 - p;
+        let npq = nf * p * q;
+        let f_m = nf * p + p; // (n+1)p
+        let m = f_m.floor(); // mode
+        let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+        let xm = m + 0.5;
+        let xl = xm - p1;
+        let xr = xm + p1;
+        let c = 0.134 + 20.5 / (15.3 + m);
+        let a_l = (f_m - xl) / (f_m - xl * p);
+        let lambda_l = a_l * (1.0 + 0.5 * a_l);
+        let a_r = (xr - f_m) / (xr * q);
+        let lambda_r = a_r * (1.0 + 0.5 * a_r);
+        let p2 = p1 * (1.0 + 2.0 * c);
+        let p3 = p2 + c / lambda_l;
+        let p4 = p3 + c / lambda_r;
+        BtpeConstants {
+            p,
+            m,
+            p1,
+            xm,
+            xl,
+            xr,
+            c,
+            lambda_l,
+            lambda_r,
+            p2,
+            p3,
+            p4,
+        }
     }
+}
+
+/// Inversion by CDF walk with the pmf recurrence constants hoisted.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, s: f64, log_f0: f64) -> u64 {
     loop {
         let mut f = log_f0.exp();
         let mut u: f64 = rng.gen();
@@ -71,70 +203,53 @@ fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 }
 
 /// One standard normal via Box–Muller (used only in the theoretical
-/// fallback branch of [`binv`]).
+/// fallback branch of [`Plan::Normal`]).
 fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.gen();
     (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
 }
 
-/// BTPE-style envelope rejection; requires `p ≤ 0.5` and `n·p ≥ 10`.
-fn btpe<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+/// BTPE-style envelope rejection over precomputed constants.
+fn btpe<R: Rng + ?Sized>(rng: &mut R, n: u64, k: &BtpeConstants) -> u64 {
     let nf = n as f64;
-    let q = 1.0 - p;
-    let npq = nf * p * q;
-    let f_m = nf * p + p; // (n+1)p
-    let m = f_m.floor(); // mode
-    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
-    let xm = m + 0.5;
-    let xl = xm - p1;
-    let xr = xm + p1;
-    let c = 0.134 + 20.5 / (15.3 + m);
-    let a_l = (f_m - xl) / (f_m - xl * p);
-    let lambda_l = a_l * (1.0 + 0.5 * a_l);
-    let a_r = (xr - f_m) / (xr * q);
-    let lambda_r = a_r * (1.0 + 0.5 * a_r);
-    let p2 = p1 * (1.0 + 2.0 * c);
-    let p3 = p2 + c / lambda_l;
-    let p4 = p3 + c / lambda_r;
-
     loop {
-        let u: f64 = rng.gen::<f64>() * p4;
+        let u: f64 = rng.gen::<f64>() * k.p4;
         let v: f64 = rng.gen();
         let y: f64;
-        if u <= p1 {
+        if u <= k.p1 {
             // Triangular central region: accept immediately.
-            y = (xm - p1 * v + u).floor();
+            y = (k.xm - k.p1 * v + u).floor();
             return y as u64;
-        } else if u <= p2 {
+        } else if u <= k.p2 {
             // Parallelogram.
-            let x = xl + (u - p1) / c;
-            let v2 = v * c + 1.0 - (x - xm).abs() / p1;
+            let x = k.xl + (u - k.p1) / k.c;
+            let v2 = v * k.c + 1.0 - (x - k.xm).abs() / k.p1;
             if v2 > 1.0 {
                 continue;
             }
             y = x.floor();
-            if accept(n, p, m, y, v2) {
+            if accept(n, k.p, k.m, y, v2) {
                 return y as u64;
             }
-        } else if u <= p3 {
+        } else if u <= k.p3 {
             // Left exponential tail.
-            y = (xl + v.ln() / lambda_l).floor();
+            y = (k.xl + v.ln() / k.lambda_l).floor();
             if y < 0.0 {
                 continue;
             }
-            let v2 = v * (u - p2) * lambda_l;
-            if accept(n, p, m, y, v2) {
+            let v2 = v * (u - k.p2) * k.lambda_l;
+            if accept(n, k.p, k.m, y, v2) {
                 return y as u64;
             }
         } else {
             // Right exponential tail.
-            y = (xr - v.ln() / lambda_r).floor();
+            y = (k.xr - v.ln() / k.lambda_r).floor();
             if y > nf {
                 continue;
             }
-            let v2 = v * (u - p3) * lambda_r;
-            if accept(n, p, m, y, v2) {
+            let v2 = v * (u - k.p3) * k.lambda_r;
+            if accept(n, k.p, k.m, y, v2) {
                 return y as u64;
             }
         }
@@ -195,6 +310,28 @@ mod tests {
         for _ in 0..5_000 {
             let x = binomial(&mut rng, 20, 0.37);
             assert!(x <= 20);
+        }
+    }
+
+    /// The batched fill consumes the RNG exactly like serial calls, in
+    /// both regimes and in the mirrored-p case.
+    #[test]
+    fn fill_matches_serial_schedule_exactly() {
+        for (n, p) in [(50u64, 0.05), (10_000, 0.3), (5_000, 0.85), (0, 0.4)] {
+            let serial: Vec<u64> = {
+                let mut rng = StdRng::seed_from_u64(99);
+                (0..64).map(|_| binomial(&mut rng, n, p)).collect()
+            };
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut out = vec![0u64; 64];
+            binomial_fill(&mut rng, n, p, &mut out);
+            assert_eq!(out, serial, "n={n} p={p}");
+            // And the RNG ends in the same state.
+            let mut serial_rng = StdRng::seed_from_u64(99);
+            for _ in 0..64 {
+                let _ = binomial(&mut serial_rng, n, p);
+            }
+            assert_eq!(rng.gen::<u64>(), serial_rng.gen::<u64>(), "n={n} p={p}");
         }
     }
 

@@ -55,14 +55,15 @@ fn connect(addr: &str) -> Result<TcpStream, String> {
     connect_within(addr, CONNECT_TIMEOUT, IO_TIMEOUT)
 }
 
-type PushWriter = FrameWriter<BufWriter<TcpStream>>;
+/// The frame writer handed to [`push_with`] callbacks.
+pub type PushWriter = FrameWriter<BufWriter<TcpStream>>;
 
 /// Push one report stream — header frame, then every report frame — and
 /// wait for the server's `Ingested` acknowledgement, which confirms the
 /// reports were *absorbed* (not merely received). Returns the absorbed
 /// count.
 pub fn push_reports(addr: &str, header: &StreamHeader, frames: &[Vec<u8>]) -> Result<u64, String> {
-    push_stream(addr, header, |writer| {
+    push_with(addr, header, |writer| {
         for frame in frames {
             writer.write_frame(frame)?;
         }
@@ -84,7 +85,7 @@ pub fn push_report_batches(
     if batch == 0 {
         return push_reports(addr, header, frames);
     }
-    push_stream(addr, header, |writer| {
+    push_with(addr, header, |writer| {
         for chunk in frames.chunks(batch) {
             writer.write_frame(&encode_report_batch(chunk))?;
         }
@@ -92,10 +93,21 @@ pub fn push_report_batches(
     })
 }
 
+/// Push exactly one report frame (typically a `REPORT_BATCH` payload
+/// built by the batched encode kernels) as its own stream — header,
+/// frame, half-close, acknowledgement. One connection per call: this is
+/// the open-loop load generator's send primitive, where each scheduled
+/// batch's ack latency is measured over its own connection.
+pub fn push_frame(addr: &str, header: &StreamHeader, frame: &[u8]) -> Result<u64, String> {
+    push_with(addr, header, |writer| writer.write_frame(frame))
+}
+
 /// The shared push path: connect, write the header frame and whatever
 /// report frames `write_reports` produces, half-close, and decode the
-/// server's verdict.
-fn push_stream<F>(addr: &str, header: &StreamHeader, write_reports: F) -> Result<u64, String>
+/// server's verdict. Public so callers (the `load` traffic generator)
+/// can stream frames as they are encoded instead of materializing the
+/// whole stream first.
+pub fn push_with<F>(addr: &str, header: &StreamHeader, write_reports: F) -> Result<u64, String>
 where
     F: FnOnce(&mut PushWriter) -> Result<(), FrameError>,
 {

@@ -47,7 +47,7 @@ pub mod protocol;
 pub mod relay;
 pub mod server;
 
-pub use client::{push_report_batches, push_reports, Control};
+pub use client::{push_frame, push_report_batches, push_reports, push_with, Control, PushWriter};
 pub use protocol::{PushRequest, QueryRequest, QueryTarget, Request, Response, ServerStats};
 pub use relay::{read_checkpoint, write_checkpoint, Checkpoint, DownstreamEntry};
 pub use server::{Recovery, ServeConfig, Server, ServerSummary};

@@ -109,11 +109,14 @@ impl fmt::Display for Diagnostic {
 /// exist: a missing entry is an [`Kind::Io`] diagnostic, so renaming a
 /// hot-path file forces a linter update instead of silently shrinking
 /// coverage.
-pub const REQUIRED_FILES: [&str; 4] = [
+pub const REQUIRED_FILES: [&str; 7] = [
     "crates/core/src/wire.rs",
     "crates/core/src/frame.rs",
+    "crates/core/src/encode.rs",
     "crates/oracles/src/pipeline.rs",
+    "crates/oracles/src/encode.rs",
     "crates/cli/src/serve.rs",
+    "crates/cli/src/load.rs",
 ];
 
 /// Directory trees whose every `.rs` file joins the scan set.

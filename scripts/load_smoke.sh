@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Open-loop load-generator smoke: start a real `ldp-cli serve`, drive it
+# for ~2 seconds with `load --rate`, and fail unless the run exits
+# cleanly AND the latency histogram is non-empty with one sample per
+# sent batch (the histogram JSON is left at $2 for CI to upload).
+#
+# Usage: scripts/load_smoke.sh <path-to-ldp-cli> <hist-output.json>
+set -euo pipefail
+
+BIN=$1
+HIST=$2
+
+LOG=$(mktemp)
+"$BIN" serve --listen 127.0.0.1:0 --shards 4 2>"$LOG" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The bound address is the first stderr line: "serving on HOST:PORT (...)".
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^serving on \([^ ]*\).*/\1/p' "$LOG" | head -n 1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; cat "$LOG"; exit 1; }
+
+"$BIN" load \
+  --connect "$ADDR" \
+  --protocol MargPS --d 8 --k 2 --eps 1.1 --seed 7 \
+  --clients 2 --rate 20000 --duration 2.0 --batch 128 \
+  --hist-output "$HIST"
+
+"$BIN" shutdown --connect "$ADDR"
+wait "$SERVER_PID"
+trap - EXIT
+
+# The histogram must be non-empty and internally consistent: count
+# inside "ack_latency" equals sent_batches, and at least one batch flew.
+python3 - "$HIST" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sent = doc["sent_batches"]
+count = doc["ack_latency"]["count"]
+assert sent > 0, f"open-loop smoke sent nothing: {doc}"
+assert count == sent, f"histogram count {count} != sent batches {sent}"
+assert doc["acked"] == doc["sent_reports"], f"server missed reports: {doc}"
+print(f"load smoke ok: {sent} batches, p99 ack {doc['ack_latency']['p99_ns']} ns")
+EOF

@@ -744,6 +744,93 @@ fn corrupt_batch_frames_are_rejected_on_the_ack() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pull an integer field out of a flat JSON object without a JSON
+/// dependency: finds `"key":` and parses the digits that follow.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing {key:?} in:\n{text}"));
+    text[at + needle.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key:?} value ({e}) in:\n{text}"))
+}
+
+/// The open-loop load generator against a real server: the run exits
+/// cleanly, the latency histogram's total count equals the number of
+/// batches sent, and the server acknowledges every report.
+#[test]
+fn open_loop_load_reports_a_complete_latency_histogram() {
+    let dir = scratch("open_loop");
+    let hist_path = dir.join("hist.json");
+    let server = ServerProc::start(&[]);
+    run_cli(
+        &[
+            "load",
+            "--connect",
+            &server.addr,
+            "--protocol",
+            "MargPS",
+            "--d",
+            "8",
+            "--k",
+            "2",
+            "--eps",
+            "1.1",
+            "--seed",
+            "7",
+            "--clients",
+            "2",
+            "--rate",
+            "20000",
+            "--duration",
+            "1.0",
+            "--batch",
+            "128",
+            "--hist-output",
+            hist_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let json = std::fs::read_to_string(&hist_path).expect("histogram JSON written");
+    let sent_batches = json_u64(&json, "sent_batches");
+    let sent_reports = json_u64(&json, "sent_reports");
+    let acked = json_u64(&json, "acked");
+    // rate/batch = 156.25 events/s over 1 s: the schedule admits
+    // ⌈156.25⌉ = 157 events regardless of machine speed.
+    assert!(sent_batches > 0, "open-loop run sent nothing:\n{json}");
+    assert_eq!(
+        sent_reports,
+        sent_batches * 128,
+        "batch accounting:\n{json}"
+    );
+    assert_eq!(acked, sent_reports, "server missed reports:\n{json}");
+    // The acceptance criterion: every sent batch has exactly one
+    // latency sample (the histogram count inside "ack_latency").
+    let ack_latency = json
+        .split("\"ack_latency\":")
+        .nth(1)
+        .expect("ack_latency object");
+    assert_eq!(
+        json_u64(ack_latency, "count"),
+        sent_batches,
+        "histogram count != sent batches:\n{json}"
+    );
+
+    // The server really absorbed the open-loop traffic.
+    let stats = String::from_utf8(run_cli(&["stats", "--connect", &server.addr], None)).unwrap();
+    assert!(
+        stats.contains(&format!("reports: {sent_reports} absorbed")),
+        "stats disagree with the load run:\n{stats}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One connection may mix wire-v1 single-report frames and wire-v2
 /// batch frames freely: the ack counts every report once and the
 /// result is byte-identical to serial ingest.
